@@ -1,0 +1,161 @@
+// hermes-bench regenerates every table and figure of the paper's evaluation
+// (see DESIGN.md for the experiment index). Each experiment prints the same
+// rows or series the paper reports; absolute numbers come from this
+// repository's simulator, so compare shapes, orderings and ratios rather
+// than raw values (EXPERIMENTS.md records both).
+//
+// Usage:
+//
+//	hermes-bench -exp fig12              # one experiment
+//	hermes-bench -exp all                # the whole evaluation
+//	hermes-bench -exp fig13 -flows 2000  # higher fidelity
+//	hermes-bench -list                   # enumerate experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/hermes-repro/hermes/internal/textplot"
+)
+
+// options are shared across experiments.
+type options struct {
+	flows int   // flows per data point
+	seed  int64 // base seed
+	full  bool  // paper-scale topology (8x8x16) instead of reduced (4x4x8)
+}
+
+// CSV mirroring: when -csv DIR is set, every table printed through
+// header()/row() is also written as DIR/<experiment>_<n>.csv. When -plot is
+// set, each table is additionally rendered as ASCII bars.
+var (
+	csvDir     string
+	plotTables bool
+	currentExp string
+	tableSeq   int
+	csvFile    *os.File
+
+	plotCols   []string
+	plotSeries []textplot.Series
+)
+
+func beginCSVTable(cols []string) {
+	endCSVTable()
+	tableSeq++
+	plotCols = cols[1:]
+	if csvDir == "" {
+		return
+	}
+	name := filepath.Join(csvDir, fmt.Sprintf("%s_%d.csv", currentExp, tableSeq))
+	f, err := os.Create(name)
+	if err != nil {
+		log.Fatalf("csv: %v", err)
+	}
+	csvFile = f
+	fmt.Fprintln(f, strings.Join(cols, ","))
+}
+
+func csvRow(vals []string) {
+	if csvFile != nil {
+		fmt.Fprintln(csvFile, strings.Join(vals, ","))
+	}
+}
+
+func plotRow(name string, vals []float64) {
+	if !plotTables {
+		return
+	}
+	cp := make([]float64, len(vals))
+	copy(cp, vals)
+	plotSeries = append(plotSeries, textplot.Series{Label: name, Values: cp})
+}
+
+func endCSVTable() {
+	if csvFile != nil {
+		csvFile.Close()
+		csvFile = nil
+	}
+	if plotTables && len(plotSeries) > 0 {
+		fmt.Println()
+		if err := textplot.Bars(os.Stdout, "(scaled bars)", plotCols, plotSeries, 40); err != nil {
+			log.Fatal(err)
+		}
+	}
+	plotSeries = nil
+}
+
+type experiment struct {
+	name  string
+	what  string
+	runFn func(o options)
+}
+
+var registry []experiment
+
+func register(name, what string, fn func(o options)) {
+	registry = append(registry, experiment{name, what, fn})
+}
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment id (see -list) or 'all'")
+		flows  = flag.Int("flows", 600, "flows per data point")
+		seed   = flag.Int64("seed", 1, "base random seed")
+		full   = flag.Bool("full", false, "use the paper's full 8x8x16 topology (slower)")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		csvOut = flag.String("csv", "", "also write each table as CSV into this directory")
+		plot   = flag.Bool("plot", false, "render each table as ASCII bars too")
+	)
+	flag.Parse()
+	plotTables = *plot
+	if *csvOut != "" {
+		if err := os.MkdirAll(*csvOut, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		csvDir = *csvOut
+	}
+
+	sort.Slice(registry, func(i, j int) bool { return registry[i].name < registry[j].name })
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range registry {
+			fmt.Printf("  %-8s %s\n", e.name, e.what)
+		}
+		if *exp == "" {
+			os.Exit(0)
+		}
+		return
+	}
+
+	o := options{flows: *flows, seed: *seed, full: *full}
+	if *exp == "all" {
+		for _, e := range registry {
+			runOne(e, o)
+		}
+		return
+	}
+	for _, e := range registry {
+		if e.name == *exp {
+			runOne(e, o)
+			return
+		}
+	}
+	log.Fatalf("unknown experiment %q (use -list)", *exp)
+}
+
+func runOne(e experiment, o options) {
+	fmt.Printf("\n================ %s: %s ================\n", e.name, e.what)
+	currentExp, tableSeq = e.name, 0
+	start := time.Now()
+	e.runFn(o)
+	endCSVTable()
+	fmt.Fprintf(os.Stderr, "[%s done in %.1fs]\n", e.name, time.Since(start).Seconds())
+}

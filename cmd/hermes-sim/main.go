@@ -1,0 +1,162 @@
+// hermes-sim runs a single load balancing experiment and prints its
+// measurements as text or JSON.
+//
+// Examples:
+//
+//	hermes-sim -scheme hermes -workload web-search -load 0.6 -flows 1000
+//	hermes-sim -scheme conga -failure random-drop -drop-rate 0.02 -json
+//	hermes-sim -topology testbed -scheme presto -load 0.5
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	hermes "github.com/hermes-repro/hermes"
+)
+
+func main() {
+	var (
+		topoName = flag.String("topology", "large", `"testbed" (2x2, 1G), "large" (8x8, 10G) or "small" (4x4, 10G)`)
+		scheme   = flag.String("scheme", "hermes", "ecmp|presto|drb|letflow|drill|conga|clove|flowbender|hermes")
+		workload = flag.String("workload", "web-search", "web-search|data-mining")
+		wlFile   = flag.String("workload-file", "", "custom flow-size CDF file (overrides -workload)")
+		load     = flag.Float64("load", 0.6, "offered load as a fraction of bisection bandwidth")
+		flows    = flag.Int("flows", 1000, "number of flows to generate")
+		seed     = flag.Int64("seed", 1, "random seed (same seed => same run)")
+		protocol = flag.String("protocol", "dctcp", "dctcp|reno")
+		flowlet  = flag.Int64("flowlet-us", 0, "flowlet timeout override in microseconds (CONGA/LetFlow/CLOVE)")
+		maxFlow  = flag.Int64("max-flow-bytes", 0, "flow size cap (0 = workload default)")
+
+		failKind = flag.String("failure", "", "''|random-drop|blackhole|degrade|cut-link")
+		spine    = flag.Int("spine", -1, "failed spine index (-1 = random)")
+		dropRate = flag.Float64("drop-rate", 0.02, "silent random drop probability")
+		frac     = flag.Float64("degrade-fraction", 0.2, "fraction of fabric links degraded")
+		degBps   = flag.Int64("degrade-bps", 2e9, "degraded link rate")
+		cutLeaf  = flag.Int("cut-leaf", 0, "leaf side of the cut link")
+		cutSpine = flag.Int("cut-spine", 0, "spine side of the cut link")
+
+		visibility = flag.Bool("visibility", false, "measure Table 2 visibility")
+		jsonOut    = flag.Bool("json", false, "emit JSON instead of text")
+		traceFile  = flag.String("trace", "", "write per-flow JSONL trace to this file")
+		subflows   = flag.Int("mptcp-subflows", 4, "subflows per logical flow (mptcp scheme)")
+		configFile = flag.String("config", "", "load the full experiment Config from a JSON file (overrides other flags)")
+	)
+	flag.Parse()
+
+	var topo hermes.Topology
+	switch *topoName {
+	case "testbed":
+		topo = hermes.TestbedTopology()
+	case "large":
+		topo = hermes.LargeScaleTopology()
+	case "small":
+		topo = hermes.Topology{Leaves: 4, Spines: 4, HostsPerLeaf: 8,
+			HostRateBps: 10e9, FabricRateBps: 10e9, HostDelayNs: 2000, FabricDelayNs: 2000}
+	default:
+		log.Fatalf("unknown topology %q", *topoName)
+	}
+
+	var traceW *os.File
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		traceW = f
+	}
+
+	cfg := hermes.Config{
+		Topology:          topo,
+		Scheme:            hermes.Scheme(*scheme),
+		Workload:          *workload,
+		WorkloadFile:      *wlFile,
+		Load:              *load,
+		Flows:             *flows,
+		Seed:              *seed,
+		Protocol:          *protocol,
+		FlowletTimeoutNs:  *flowlet * 1000,
+		MaxFlowBytes:      *maxFlow,
+		MeasureVisibility: *visibility,
+		MPTCPSubflows:     *subflows,
+		Failure: hermes.FailureSpec{
+			Kind:     hermes.FailureKind(*failKind),
+			Spine:    *spine,
+			DropRate: *dropRate,
+			Fraction: *frac, DegradedBps: *degBps,
+			CutLeaf: *cutLeaf, CutSpine: *cutSpine,
+			SrcLeaf: 0, DstLeaf: topo.Leaves - 1,
+		},
+	}
+
+	if traceW != nil {
+		cfg.TraceWriter = traceW
+	}
+
+	if *configFile != "" {
+		data, err := os.ReadFile(*configFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var fileCfg hermes.Config
+		if err := json.Unmarshal(data, &fileCfg); err != nil {
+			log.Fatalf("parse %s: %v", *configFile, err)
+		}
+		fileCfg.TraceWriter = cfg.TraceWriter
+		cfg = fileCfg
+	}
+
+	res, err := hermes.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.TraceCounts != nil {
+		fmt.Fprintf(os.Stderr, "trace: %v written to %s\n", res.TraceCounts, *traceFile)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("scheme=%s workload=%s load=%.2f flows=%d seed=%d\n",
+		res.Scheme, res.Workload, res.Load, res.FCT.Flows, *seed)
+	fmt.Printf("simulated %.1f ms, %d events\n",
+		float64(res.SimDuration)/1e6, res.Events)
+	fmt.Printf("%-24s %10s %10s %10s %10s\n", "bucket", "count", "mean(ms)", "p95(ms)", "p99(ms)")
+	pr := func(name string, count int, mean, p95, p99 float64) {
+		fmt.Printf("%-24s %10d %10.3f %10.3f %10.3f\n", name, count, mean, p95, p99)
+	}
+	pr("overall", res.FCT.Overall.Count, res.FCT.Overall.MeanMs(),
+		float64(res.FCT.Overall.P95)/1e6, res.FCT.Overall.P99Ms())
+	pr("small (<100KB)", res.FCT.Small.Count, res.FCT.Small.MeanMs(),
+		float64(res.FCT.Small.P95)/1e6, res.FCT.Small.P99Ms())
+	pr("medium", res.FCT.Medium.Count, res.FCT.Medium.MeanMs(),
+		float64(res.FCT.Medium.P95)/1e6, res.FCT.Medium.P99Ms())
+	pr("large (>10MB)", res.FCT.Large.Count, res.FCT.Large.MeanMs(),
+		float64(res.FCT.Large.P95)/1e6, res.FCT.Large.P99Ms())
+	if res.FCT.Slowdown.Count > 0 {
+		fmt.Printf("slowdown: mean %.2f, p50 %.2f, p99 %.2f\n",
+			res.FCT.Slowdown.Mean, res.FCT.Slowdown.P50, res.FCT.Slowdown.P99)
+	}
+	if res.FCT.Unfinished > 0 {
+		fmt.Printf("unfinished: %d (%.2f%%)\n", res.FCT.Unfinished, 100*res.FCT.UnfinishedFrac)
+	}
+	if res.Scheme == hermes.SchemeHermes {
+		fmt.Printf("hermes: reroutes=%d (timeout=%d failure=%d) probes=%d overhead=%.3f%%\n",
+			res.Reroutes, res.TimeoutReroutes, res.FailureReroutes,
+			res.ProbesSent, 100*res.ProbeOverhead)
+	}
+	if *visibility {
+		fmt.Printf("visibility: switch-pair=%.3f host-pair=%.5f\n",
+			res.VisibilitySwitchPair, res.VisibilityHostPair)
+	}
+}

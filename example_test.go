@@ -1,0 +1,61 @@
+package hermes_test
+
+import (
+	"fmt"
+
+	hermes "github.com/hermes-repro/hermes"
+)
+
+// ExampleRun shows the minimal experiment: a small fabric, one scheme, one
+// workload, deterministic seed.
+func ExampleRun() {
+	res, err := hermes.Run(hermes.Config{
+		Topology: hermes.Topology{
+			Leaves: 2, Spines: 2, HostsPerLeaf: 2,
+			HostRateBps: 10e9, FabricRateBps: 10e9,
+			HostDelayNs: 1000, FabricDelayNs: 1000,
+		},
+		Scheme:   hermes.SchemeHermes,
+		Workload: "web-search",
+		Load:     0.3,
+		Flows:    20,
+		Seed:     1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("flows:", res.FCT.Flows, "unfinished:", res.FCT.Unfinished)
+	// Output: flows: 20 unfinished: 0
+}
+
+// ExampleRunSeeds averages a metric across seeds, as the paper's 5-run
+// averages do.
+func ExampleRunSeeds() {
+	cfg := hermes.Config{
+		Topology: hermes.Topology{
+			Leaves: 2, Spines: 2, HostsPerLeaf: 2,
+			HostRateBps: 10e9, FabricRateBps: 10e9,
+			HostDelayNs: 1000, FabricDelayNs: 1000,
+		},
+		Scheme:   hermes.SchemeECMP,
+		Workload: "data-mining",
+		Load:     0.3,
+		Flows:    15,
+	}
+	results, stats, err := hermes.RunSeeds(cfg, hermes.Seeds(1, 3))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("runs:", len(results), "seeds:", stats.N)
+	// Output: runs: 3 seeds: 3
+}
+
+// ExampleDeriveHermesParams derives the Table 4 defaults for a fabric.
+func ExampleDeriveHermesParams() {
+	p, err := hermes.DeriveHermesParams(hermes.LargeScaleTopology())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("T_ECN=%.0f%% S=%dKB\n", p.TECN*100, p.SBytes/1000)
+	// Output: T_ECN=40% S=600KB
+}

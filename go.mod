@@ -1,0 +1,3 @@
+module github.com/hermes-repro/hermes
+
+go 1.22

@@ -1,0 +1,552 @@
+// Package hermes is a from-scratch reproduction of "Resilient Datacenter
+// Load Balancing in the Wild" (SIGCOMM 2017): the Hermes load balancer, the
+// baselines it is evaluated against (ECMP, Presto*, DRB, LetFlow, DRILL,
+// CONGA, CLOVE-ECN, FlowBender), and the packet-level leaf-spine fabric,
+// DCTCP transport, workload generators and failure injectors the evaluation
+// needs. The package is a facade: describe an experiment with Config, call
+// Run, and read the FCT statistics from Result.
+//
+//	res, err := hermes.Run(hermes.Config{
+//	    Topology: hermes.LargeScaleTopology(),
+//	    Scheme:   hermes.SchemeHermes,
+//	    Workload: "web-search",
+//	    Load:     0.6,
+//	    Flows:    2000,
+//	    Seed:     1,
+//	})
+package hermes
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/hermes-repro/hermes/internal/core"
+	"github.com/hermes-repro/hermes/internal/failure"
+	"github.com/hermes-repro/hermes/internal/metrics"
+	"github.com/hermes-repro/hermes/internal/net"
+	"github.com/hermes-repro/hermes/internal/sim"
+	"github.com/hermes-repro/hermes/internal/trace"
+	"github.com/hermes-repro/hermes/internal/transport"
+	"github.com/hermes-repro/hermes/internal/workload"
+)
+
+// Scheme names a load balancing scheme.
+type Scheme string
+
+// The schemes of Table 1.
+const (
+	SchemeECMP       Scheme = "ecmp"
+	SchemePresto     Scheme = "presto" // Presto*: packet spraying + reorder buffer
+	SchemeDRB        Scheme = "drb"
+	SchemeLetFlow    Scheme = "letflow"
+	SchemeDRILL      Scheme = "drill"
+	SchemeCONGA      Scheme = "conga"
+	SchemeCLOVE      Scheme = "clove" // CLOVE-ECN
+	SchemeFlowBender Scheme = "flowbender"
+	SchemeHermes     Scheme = "hermes"
+	// SchemeEdgeFlowlet is the congestion-oblivious CLOVE variant
+	// (Edge-Flowlet) the paper also evaluated.
+	SchemeEdgeFlowlet Scheme = "edge-flowlet"
+	// SchemeHULA is HULA [25], Table 1's programmable-switch scheme.
+	SchemeHULA Scheme = "hula"
+	// SchemeMPTCP is multipath TCP [31]: k subflows per logical flow over a
+	// shared send buffer, hashed independently onto paths and never
+	// rerouted. The paper discusses it (§5.1, §7) but could not simulate
+	// it; this repository can.
+	SchemeMPTCP Scheme = "mptcp"
+	// SchemeWCMP is weighted-cost multipath: per-flow capacity-weighted
+	// hashing, the static asymmetry-aware strawman (extension).
+	SchemeWCMP Scheme = "wcmp"
+)
+
+// Schemes lists every supported scheme.
+func Schemes() []Scheme {
+	return []Scheme{
+		SchemeECMP, SchemeWCMP, SchemePresto, SchemeDRB, SchemeLetFlow,
+		SchemeDRILL, SchemeCONGA, SchemeCLOVE, SchemeEdgeFlowlet, SchemeHULA,
+		SchemeFlowBender, SchemeMPTCP, SchemeHermes,
+	}
+}
+
+// Topology describes a leaf-spine fabric.
+type Topology struct {
+	Leaves       int
+	Spines       int
+	HostsPerLeaf int
+
+	HostRateBps   int64
+	FabricRateBps int64
+
+	HostDelayNs   int64
+	FabricDelayNs int64
+
+	// QueueFactor sizes port buffers as a multiple of the ECN threshold
+	// (0 = default 5x). Use 2-3x to model shallow-buffer switches.
+	QueueFactor int
+
+	// CablesPerLink is the number of parallel physical cables per
+	// leaf-spine pair (0/1 = one). Each cable is a distinct XPath path.
+	CablesPerLink int
+}
+
+// TestbedTopology mirrors the paper's hardware testbed (Fig 8a): two racks
+// of six servers, two spines, all links 1 Gbps with TWO parallel cables per
+// leaf-spine pair — 6 Gbps down vs 4 Gbps up per leaf, the paper's 3:2
+// oversubscription — and ~100 us base RTT. Each cable is a distinct path
+// (4 paths between the racks), so cutting one cable leaves 3 of 4 paths and
+// 75% of the bisection, exactly Fig 8b.
+func TestbedTopology() Topology {
+	return Topology{
+		Leaves: 2, Spines: 2, HostsPerLeaf: 6,
+		HostRateBps: 1_000_000_000, FabricRateBps: 1_000_000_000,
+		CablesPerLink: 2,
+		HostDelayNs:   5_000, FabricDelayNs: 5_000,
+	}
+}
+
+// LargeScaleTopology mirrors the paper's simulation baseline (§5.3.1): an
+// 8x8 leaf-spine with 128 hosts, 10 Gbps links everywhere and a 2:1 leaf
+// oversubscription.
+func LargeScaleTopology() Topology {
+	return Topology{
+		Leaves: 8, Spines: 8, HostsPerLeaf: 16,
+		HostRateBps: 10_000_000_000, FabricRateBps: 10_000_000_000,
+		HostDelayNs: 2_000, FabricDelayNs: 2_000,
+	}
+}
+
+// FailureKind selects a §5.3.3 switch malfunction or topology asymmetry.
+type FailureKind string
+
+// Supported failure injections.
+const (
+	FailureNone       FailureKind = ""
+	FailureRandomDrop FailureKind = "random-drop"
+	FailureBlackhole  FailureKind = "blackhole"
+	FailureDegrade    FailureKind = "degrade"
+	FailureCutLink    FailureKind = "cut-link"
+	// FailureCutCable removes a single physical cable of a multi-cable
+	// leaf-spine link (the paper's testbed Fig 8b cut).
+	FailureCutCable FailureKind = "cut-cable"
+	// FailureDegradeLink reduces one specific leaf-spine link to
+	// DegradedBps — e.g. the paper's testbed "link cut", which removes one
+	// of two parallel 1 Gbps cables (2 Gbps -> 1 Gbps, 75% bisection).
+	FailureDegradeLink FailureKind = "degrade-link"
+	// FailureFlap periodically degrades and restores the CutLeaf/CutSpine
+	// link (gray-failure extension; see internal/failure.Flap).
+	FailureFlap FailureKind = "flap"
+	// FailureDegradeSpine re-rates every link of one spine — the §2.1
+	// "heterogeneous devices" asymmetry (e.g. one older slower spine tier).
+	FailureDegradeSpine FailureKind = "degrade-spine"
+)
+
+// FailureSpec configures the injection.
+type FailureSpec struct {
+	Kind FailureKind
+
+	// Spine selects the malfunctioning core switch; -1 picks one at random.
+	Spine int
+	// DropRate is the silent random-drop probability (default 0.02).
+	DropRate float64
+	// SrcLeaf/DstLeaf scope the blackhole's rack pair (default 0 -> last).
+	SrcLeaf, DstLeaf int
+	// Fraction of leaf-spine links degraded to DegradedBps (degrade).
+	Fraction    float64
+	DegradedBps int64
+	// CutLeaf/CutSpine identify the removed link (cut-link), and CutCable
+	// the single cable for cut-cable fabrics (-1 or 0 = cable 0).
+	CutLeaf, CutSpine, CutCable int
+	// FlapPeriodNs/FlapDownNs control the flap cycle (flap kind).
+	FlapPeriodNs, FlapDownNs int64
+}
+
+// Config describes one experiment run.
+type Config struct {
+	Topology Topology
+	Scheme   Scheme
+
+	// Workload is "web-search" or "data-mining".
+	Workload string
+	// WorkloadFile, when set, loads a custom flow-size CDF from a text file
+	// ("<bytes> <cumulative-prob>" per line) instead of Workload.
+	WorkloadFile string
+	// Load is the offered load as a fraction of bisection bandwidth.
+	Load float64
+	// Flows is the number of flows to generate.
+	Flows int
+	// Seed drives all randomness; same seed, same result.
+	Seed int64
+
+	// MaxFlowBytes truncates the size distribution (0 = workload default:
+	// data-mining is capped at 35 MB to bound simulation cost; see
+	// EXPERIMENTS.md).
+	MaxFlowBytes int64
+
+	// Protocol is "dctcp" (default) or "reno".
+	Protocol string
+
+	// FlowletTimeout overrides the flowlet gap for CONGA/LetFlow/CLOVE
+	// (default 150 us).
+	FlowletTimeoutNs int64
+
+	// ReorderTimeoutNs sets the receive-side reordering buffer; -1 disables
+	// it even for Presto*; 0 means scheme default (Presto* gets 400 us).
+	ReorderTimeoutNs int64
+
+	// HermesParams overrides the derived Table 4 defaults when non-nil.
+	HermesParams *core.Params
+
+	// Failure injects a malfunction or asymmetry.
+	Failure FailureSpec
+
+	// DrainTimeoutNs bounds how long the run may continue after the last
+	// flow arrival before unfinished flows are force-recorded (default 2 s
+	// of virtual time).
+	DrainTimeoutNs int64
+
+	// MeasureVisibility enables the Table 2 sampler.
+	MeasureVisibility bool
+
+	// MPTCPSubflows sets the subflow count for SchemeMPTCP (default 4).
+	MPTCPSubflows int
+
+	// TraceWriter, when non-nil, receives a JSONL stream of per-flow load
+	// balancing events (placements, path changes, retransmits, timeouts)
+	// after the run completes.
+	TraceWriter io.Writer
+	// TraceMaxEvents bounds trace memory (0 = 1e6 events).
+	TraceMaxEvents int
+}
+
+// Result carries everything a run measured.
+type Result struct {
+	Scheme   Scheme
+	Workload string
+	Load     float64
+
+	FCT metrics.Report
+
+	// SimDuration is the virtual time the run covered.
+	SimDuration sim.Time
+	// Events is the number of simulation events executed.
+	Events uint64
+
+	// VisibilitySwitchPair / VisibilityHostPair reproduce Table 2.
+	VisibilitySwitchPair float64
+	VisibilityHostPair   float64
+
+	// Hermes telemetry (zero for other schemes).
+	Reroutes        uint64
+	TimeoutReroutes uint64
+	FailureReroutes uint64
+	ProbesSent      uint64
+	ProbeBytes      uint64
+	// ProbeOverhead is probe bytes/s over one access link's capacity.
+	ProbeOverhead float64
+
+	// TraceCounts summarizes recorded trace events by kind (only when
+	// Config.TraceWriter was set).
+	TraceCounts map[string]int
+
+	// GoodputGbps is the aggregate application-level goodput of finished
+	// flows over the run, and FabricUtilization that goodput relative to
+	// the intact bisection capacity.
+	GoodputGbps       float64
+	FabricUtilization float64
+}
+
+func (t Topology) toNet() net.Config {
+	return net.Config{
+		Leaves:        t.Leaves,
+		Spines:        t.Spines,
+		HostsPerLeaf:  t.HostsPerLeaf,
+		HostRateBps:   t.HostRateBps,
+		FabricRateBps: t.FabricRateBps,
+		HostDelay:     t.HostDelayNs,
+		FabricDelay:   t.FabricDelayNs,
+		QueueFactor:   t.QueueFactor,
+		CablesPerLink: t.CablesPerLink,
+	}
+}
+
+// Run executes one experiment and returns its measurements.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Flows <= 0 {
+		return nil, fmt.Errorf("hermes: Flows must be positive")
+	}
+	if cfg.Load <= 0 || cfg.Load > 1.5 {
+		return nil, fmt.Errorf("hermes: Load %v out of range (0, 1.5]", cfg.Load)
+	}
+	var dist *workload.CDF
+	var err error
+	if cfg.WorkloadFile != "" {
+		dist, err = workload.LoadCDFFile(cfg.WorkloadFile)
+	} else {
+		dist, err = workload.ByName(cfg.Workload)
+	}
+	if err != nil {
+		return nil, err
+	}
+	maxBytes := cfg.MaxFlowBytes
+	if maxBytes == 0 && dist == workload.DataMining {
+		maxBytes = 35_000_000 // documented tail truncation
+	}
+	if maxBytes > 0 {
+		dist = dist.Truncate(maxBytes)
+	}
+
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(cfg.Seed)
+	nw, err := net.NewLeafSpine(eng, rng, cfg.Topology.toNet())
+	if err != nil {
+		return nil, err
+	}
+
+	// Record the intact bisection first: the paper normalizes offered load
+	// to the healthy fabric even in asymmetric and failure runs.
+	baseBisection := nw.BisectionBps()
+
+	// Topology-shaping failures must precede balancer construction so path
+	// sets and weights see the final fabric.
+	if err := injectTopologyFailure(nw, rng, cfg.Failure); err != nil {
+		return nil, err
+	}
+
+	opts := transport.DefaultOptions()
+	switch cfg.Protocol {
+	case "", "dctcp":
+	case "reno":
+		opts.Protocol = transport.Reno
+	case "timely":
+		opts.Protocol = transport.Timely
+	default:
+		return nil, fmt.Errorf("hermes: unknown protocol %q", cfg.Protocol)
+	}
+	switch {
+	case cfg.ReorderTimeoutNs > 0:
+		opts.ReorderTimeout = cfg.ReorderTimeoutNs
+	case cfg.ReorderTimeoutNs == 0 && cfg.Scheme == SchemePresto:
+		opts.ReorderTimeout = 400 * sim.Microsecond
+	}
+
+	wiring, err := buildScheme(nw, rng, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var tracer *trace.Recorder
+	if cfg.TraceWriter != nil {
+		max := cfg.TraceMaxEvents
+		if max <= 0 {
+			max = 1_000_000
+		}
+		tracer = &trace.Recorder{MaxEvents: max}
+		inner := wiring.balancerFor
+		wiring.balancerFor = func(h *net.Host) transport.Balancer {
+			return trace.Wrap(inner(h), tracer, eng)
+		}
+	}
+	tr := transport.New(nw, opts, wiring.balancerFor)
+	wiring.afterTransport(nw, rng)
+
+	// Switch-malfunction failures can be installed any time before traffic.
+	if err := injectSwitchFailure(nw, rng, cfg.Failure); err != nil {
+		return nil, err
+	}
+
+	rec := &metrics.FCTRecorder{}
+	// Slowdown baseline: one base RTT plus line-rate serialization on the
+	// access link — the conventional "ideal FCT" model for this literature.
+	baseRTT := nw.ApproxBaseRTT()
+	hostRate := nw.Cfg.HostRateBps
+	rec.IdealFCT = func(size int64) sim.Time {
+		return baseRTT + sim.Time(size*8*sim.Second/hostRate)
+	}
+	var deliveredBytes int64
+	tr.OnFlowDone = func(f *transport.Flow) {
+		deliveredBytes += f.Size
+		rec.Record(f.Size, f.FCT())
+	}
+
+	gen := &workload.Generator{
+		Net: nw, Tr: tr, Rng: rng, Dist: dist,
+		Load: cfg.Load, MaxFlows: cfg.Flows,
+		BaseBisectionBps: baseBisection,
+	}
+	var groups []*transport.MPTCPGroup
+	if cfg.Scheme == SchemeMPTCP {
+		k := cfg.MPTCPSubflows
+		if k <= 0 {
+			k = 4
+		}
+		gen.StartFlowFn = func(src, dst int, size int64) {
+			g := tr.StartMPTCP(src, dst, size, k)
+			g.OnDone = func(g *transport.MPTCPGroup) { rec.Record(g.Size, g.FCT()) }
+			groups = append(groups, g)
+		}
+	}
+	gen.Start()
+
+	var vis *metrics.VisibilitySampler
+	if cfg.MeasureVisibility {
+		vis = &metrics.VisibilitySampler{Tr: tr, Interval: sim.Millisecond}
+		vis.Start(eng)
+	}
+
+	drain := cfg.DrainTimeoutNs
+	if drain <= 0 {
+		drain = 2 * sim.Second
+	}
+
+	// Run in slices until all generated flows finish or the drain deadline
+	// after the last arrival passes.
+	const slice = 10 * sim.Millisecond
+	var lastArrival sim.Time
+	for {
+		eng.Run(eng.Now() + slice)
+		if gen.Started() >= cfg.Flows {
+			if lastArrival == 0 {
+				lastArrival = eng.Now()
+			}
+			if tr.ActiveCount() == 0 || eng.Now() > lastArrival+drain {
+				break
+			}
+		}
+		if eng.Pending() == 0 {
+			break
+		}
+	}
+
+	// Charge unfinished flows their elapsed time (Fig 17 accounting),
+	// in deterministic order.
+	leftovers := make([]*transport.Flow, 0, tr.ActiveCount())
+	for _, f := range tr.ActiveFlows() {
+		if f.Hidden {
+			continue // MPTCP subflows are accounted through their group
+		}
+		leftovers = append(leftovers, f)
+	}
+	sort.Slice(leftovers, func(i, j int) bool { return leftovers[i].ID < leftovers[j].ID })
+	for _, f := range leftovers {
+		rec.RecordUnfinished(f.Size, eng.Now()-f.StartAt)
+	}
+	for _, g := range groups {
+		if !g.Done {
+			rec.RecordUnfinished(g.Size, eng.Now()-g.StartAt)
+		}
+	}
+
+	res := &Result{
+		Scheme:      cfg.Scheme,
+		Workload:    cfg.Workload,
+		Load:        cfg.Load,
+		FCT:         rec.Report(),
+		SimDuration: eng.Now(),
+		Events:      eng.Fired(),
+	}
+	if eng.Now() > 0 {
+		res.GoodputGbps = float64(deliveredBytes) * 8 / float64(eng.Now())
+		if baseBisection > 0 {
+			res.FabricUtilization = res.GoodputGbps * 1e9 / float64(baseBisection)
+		}
+	}
+	if vis != nil {
+		vis.Stop()
+		res.VisibilitySwitchPair = vis.SwitchPair()
+		res.VisibilityHostPair = vis.HostPair()
+	}
+	wiring.fillTelemetry(res, eng)
+	if tracer != nil {
+		if err := tracer.WriteJSONL(cfg.TraceWriter); err != nil {
+			return nil, err
+		}
+		res.TraceCounts = map[string]int{}
+		for _, e := range tracer.Events {
+			res.TraceCounts[string(e.Kind)]++
+		}
+	}
+	return res, nil
+}
+
+func injectTopologyFailure(nw *net.Network, rng *sim.RNG, spec FailureSpec) error {
+	switch spec.Kind {
+	case FailureNone, FailureRandomDrop, FailureBlackhole:
+		return nil
+	case FailureDegrade:
+		frac, bps := spec.Fraction, spec.DegradedBps
+		if frac <= 0 {
+			frac = 0.2
+		}
+		if bps <= 0 {
+			bps = 2_000_000_000
+		}
+		failure.DegradeLinks(nw, rng, frac, bps)
+		return nil
+	case FailureCutLink:
+		failure.CutLink(nw, spec.CutLeaf, spec.CutSpine)
+		return nil
+	case FailureCutCable:
+		cable := spec.CutCable
+		if cable < 0 {
+			cable = 0
+		}
+		failure.CutCable(nw, spec.CutLeaf, spec.CutSpine, cable)
+		return nil
+	case FailureDegradeLink:
+		bps := spec.DegradedBps
+		if bps <= 0 {
+			bps = nw.FabricLinkRate(spec.CutLeaf, spec.CutSpine) / 2
+		}
+		nw.SetFabricLink(spec.CutLeaf, spec.CutSpine, bps)
+		return nil
+	case FailureFlap:
+		(&failure.Flap{
+			Net: nw, Leaf: spec.CutLeaf, Spine: spec.CutSpine,
+			Period:      spec.FlapPeriodNs,
+			DownFor:     spec.FlapDownNs,
+			DegradedBps: spec.DegradedBps,
+		}).Start()
+		return nil
+	case FailureDegradeSpine:
+		bps := spec.DegradedBps
+		if bps <= 0 {
+			bps = 2_000_000_000
+		}
+		spine := spec.Spine
+		if spine < 0 || spine >= nw.Cfg.Spines {
+			spine = 0
+		}
+		for l := 0; l < nw.Cfg.Leaves; l++ {
+			nw.SetFabricLink(l, spine, bps)
+		}
+		return nil
+	}
+	return fmt.Errorf("hermes: unknown failure kind %q", spec.Kind)
+}
+
+func injectSwitchFailure(nw *net.Network, rng *sim.RNG, spec FailureSpec) error {
+	pickSpine := func() *net.Switch {
+		if spec.Spine >= 0 && spec.Spine < len(nw.Spines) {
+			return nw.Spines[spec.Spine]
+		}
+		return nw.Spines[rng.Intn(len(nw.Spines))]
+	}
+	switch spec.Kind {
+	case FailureRandomDrop:
+		rate := spec.DropRate
+		if rate <= 0 {
+			rate = 0.02
+		}
+		(&failure.RandomDrop{Spine: pickSpine(), Rate: rate, Rng: rng}).Install()
+	case FailureBlackhole:
+		src, dst := spec.SrcLeaf, spec.DstLeaf
+		if src == dst {
+			src, dst = 0, nw.Cfg.Leaves-1
+		}
+		(&failure.Blackhole{
+			Spine: pickSpine(),
+			Match: failure.RackPairBlackhole(nw, src, dst),
+		}).Install()
+	}
+	return nil
+}

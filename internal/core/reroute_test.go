@@ -1,0 +1,219 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/hermes-repro/hermes/internal/net"
+	"github.com/hermes-repro/hermes/internal/sim"
+	"github.com/hermes-repro/hermes/internal/transport"
+)
+
+// hermesStack builds a 2-leaf fabric with a real transport wired to Hermes
+// on host 0 and pass-through receivers elsewhere.
+func hermesStack(t *testing.T, spines int, tweak func(*Params)) (*sim.Engine, *net.Network, *Monitor, *Hermes, *transport.Transport) {
+	t.Helper()
+	eng, nw := testNet(t, 2, spines, 2)
+	p := DefaultParams(nw)
+	p.ProbeInterval = 0
+	if tweak != nil {
+		tweak(&p)
+	}
+	m := NewMonitor(nw, 0, p)
+	h := New(m, sim.NewRNG(2), 0)
+	tr := transport.New(nw, transport.DefaultOptions(), func(host *net.Host) transport.Balancer {
+		if host.ID == 0 {
+			return h
+		}
+		return &passBal{}
+	})
+	return eng, nw, m, h, tr
+}
+
+func TestNotablyBetterRequiresBothMargins(t *testing.T) {
+	eng, _, m, h, tr := hermesStack(t, 2, func(p *Params) {
+		p.SBytes = 1
+		p.RBps = 1e18
+	})
+	f := tr.StartFlow(0, 2, 5_000_000)
+	cur := f.CurPath
+	other := 1 - cur
+	// Current path congested; alternative better in RTT but NOT in ECN
+	// fraction (both heavily marked): the ECN margin must block the move.
+	for i := 0; i < 30; i++ {
+		feed(m, 1, cur, 40, true, m.P.TRTTHigh+200*sim.Microsecond)
+		feed(m, 1, other, 40, true, m.P.TRTTLow-sim.Microsecond)
+		eng.Run(eng.Now() + 100*sim.Microsecond)
+	}
+	if h.Reroutes != 0 {
+		t.Fatal("rerouted with only the RTT margin satisfied")
+	}
+}
+
+func TestFailedPathExcludedFromPlacement(t *testing.T) {
+	_, nw, m, h := testHermes(t)
+	// Paths 0..2 failed at rack scope; 3 is good.
+	now := m.Net.Eng.Now()
+	for p := 0; p < 3; p++ {
+		m.markFailed(1, p, m.State(1, p), false, now)
+	}
+	feed(m, 1, 3, 50, false, m.P.TRTTLow-sim.Microsecond)
+	f := mkFlow(1, nw)
+	for i := 0; i < 20; i++ {
+		if got := h.SelectPath(f); got != 3 {
+			t.Fatalf("placed on failed path %d", got)
+		}
+		f.CurPath = net.PathAny // force re-placement
+	}
+}
+
+func TestAllPathsFailedStillPicksSomething(t *testing.T) {
+	_, nw, m, h := testHermes(t)
+	now := m.Net.Eng.Now()
+	for p := 0; p < 4; p++ {
+		m.markFailed(1, p, m.State(1, p), false, now)
+	}
+	f := mkFlow(1, nw)
+	got := h.SelectPath(f)
+	if got < 0 || got >= 4 {
+		t.Fatalf("no last-resort path: %d", got)
+	}
+}
+
+func TestCapacityWeightedFallback(t *testing.T) {
+	// With every path congested, fresh placement falls back to a
+	// capacity-weighted random choice: a 2 Gbps path should receive about
+	// 1/6 of placements next to a 10 Gbps path.
+	eng, nw := testNet(t, 2, 2, 2)
+	nw.SetFabricLink(0, 1, 2e9)
+	nw.SetFabricLink(1, 1, 2e9)
+	p := DefaultParams(nw)
+	p.ProbeInterval = 0
+	m := NewMonitor(nw, 0, p)
+	h := New(m, sim.NewRNG(3), 0)
+	_ = eng
+	// Make both paths look congested.
+	for q := 0; q < 2; q++ {
+		feed(m, 1, q, 100, true, p.TRTTHigh+100*sim.Microsecond)
+	}
+	counts := [2]int{}
+	for i := 0; i < 3000; i++ {
+		f := mkFlow(uint64(i), nw)
+		counts[h.SelectPath(f)]++
+	}
+	frac := float64(counts[1]) / 3000
+	if frac < 0.10 || frac > 0.24 {
+		t.Fatalf("2G path got %.2f of placements, want ~1/6", frac)
+	}
+}
+
+func TestQuarantineExpires(t *testing.T) {
+	eng, _, m := testMonitor(t)
+	ps := m.State(1, 0)
+	m.markFailed(1, 0, ps, false, eng.Now())
+	if m.Type(1, 0) != Failed {
+		t.Fatal("not quarantined")
+	}
+	eng.Run(eng.Now() + m.P.FailedHold + sim.Millisecond)
+	if m.Type(1, 0) == Failed {
+		t.Fatal("quarantine never expired")
+	}
+}
+
+func TestBlackholeQuarantineRenews(t *testing.T) {
+	eng, _, m := testMonitor(t)
+	trigger := func() {
+		for i := 0; i <= m.P.TimeoutsForBlackhole; i++ {
+			m.OnTimeout(1, 0)
+		}
+	}
+	trigger()
+	if m.Type(1, 0) != Failed {
+		t.Fatal("blackhole not quarantined")
+	}
+	// The quarantine expires (congestion false-positives must recover)...
+	eng.Run(eng.Now() + m.P.FailedHold + sim.Millisecond)
+	if m.Type(1, 0) == Failed {
+		t.Fatal("quarantine never expired")
+	}
+	// ...but a real blackhole re-triggers immediately on renewed evidence.
+	trigger()
+	if m.Type(1, 0) != Failed {
+		t.Fatal("re-detection failed")
+	}
+}
+
+func TestRerouteAccountingMatchesPathChanges(t *testing.T) {
+	// End-to-end: Hermes reroute counters never exceed the transport's
+	// observed path changes plus initial placements.
+	eng, nw, m, h, tr := hermesStack(t, 4, func(p *Params) {
+		p.SBytes = 1
+		p.RBps = 1e18
+	})
+	_ = nw
+	var flows []*transport.Flow
+	for i := 0; i < 8; i++ {
+		flows = append(flows, tr.StartFlow(0, 2, 500_000))
+	}
+	for i := 0; i < 50; i++ {
+		// Rotate which path looks congested.
+		for q := 0; q < 4; q++ {
+			if q == i%4 {
+				feed(m, 1, q, 30, true, m.P.TRTTHigh+100*sim.Microsecond)
+			} else {
+				feed(m, 1, q, 30, false, m.P.TRTTLow-sim.Microsecond)
+			}
+		}
+		eng.Run(eng.Now() + 200*sim.Microsecond)
+	}
+	eng.Run(eng.Now() + 500*sim.Millisecond)
+	var changes int
+	for _, f := range flows {
+		if !f.Done {
+			t.Fatal("flow unfinished")
+		}
+		changes += f.PathChanges
+	}
+	if int(h.Reroutes) > changes {
+		t.Fatalf("reroute counter %d exceeds observed path changes %d", h.Reroutes, changes)
+	}
+}
+
+func TestHermesIgnoresForeignLeafState(t *testing.T) {
+	// A Hermes instance only consults its own rack's monitor; state fed for
+	// another destination leaf must not affect placement toward this one.
+	_, nw, m, h := testHermes(t)
+	// dstLeaf 1 path 0 good; state for an out-of-range leaf is rejected.
+	m.OnDelivery(7, 0, true, sim.Second) // invalid dst leaf: dropped
+	feed(m, 1, 0, 50, false, m.P.TRTTLow-sim.Microsecond)
+	f := mkFlow(1, nw)
+	if got := h.SelectPath(f); got != 0 {
+		t.Fatalf("placement = %d, want 0", got)
+	}
+}
+
+func TestRerouteCooldownSpacesMoves(t *testing.T) {
+	eng, _, m, h, tr := hermesStack(t, 2, func(p *Params) {
+		p.SBytes = 1
+		p.RBps = 1e18
+	})
+	f := tr.StartFlow(0, 2, 20_000_000)
+	cur := f.CurPath
+	// Oscillate the "notably better" relation every 100 us — far faster
+	// than the cooldown. Without the cooldown this would ping-pong.
+	for i := 0; i < 60; i++ {
+		a, b := f.CurPath, 1-f.CurPath
+		feed(m, 1, a, 40, true, m.P.TRTTHigh+200*sim.Microsecond)
+		feed(m, 1, b, 40, false, m.P.TRTTLow-sim.Microsecond)
+		eng.Run(eng.Now() + 100*sim.Microsecond)
+	}
+	elapsed := eng.Now()
+	maxMoves := uint64(elapsed/m.P.RerouteCooldown) + 1
+	if h.Reroutes == 0 {
+		t.Fatal("no reroutes at all; cooldown too strict")
+	}
+	if h.Reroutes > maxMoves {
+		t.Fatalf("%d reroutes in %v with cooldown %v; spacing not enforced",
+			h.Reroutes, elapsed, m.P.RerouteCooldown)
+	}
+	_ = cur
+}

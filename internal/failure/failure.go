@@ -1,0 +1,152 @@
+// Package failure injects the switch malfunctions of §2.1: silent random
+// packet drops and deterministic packet blackholes at a core (spine) switch,
+// plus link degradation helpers for asymmetric topologies.
+package failure
+
+import (
+	"github.com/hermes-repro/hermes/internal/net"
+	"github.com/hermes-repro/hermes/internal/sim"
+)
+
+// RandomDrop makes the given spine switch silently drop each transiting
+// packet with probability rate (the paper uses 2% on one randomly selected
+// core switch, §5.3.3). High-priority control traffic (ACKs, probe echoes)
+// is dropped too — the malfunction is below the queueing layer.
+type RandomDrop struct {
+	Spine *net.Switch
+	Rate  float64
+	Rng   *sim.RNG
+
+	Dropped uint64
+	Seen    uint64
+}
+
+// Install hooks the drop function onto the switch.
+func (r *RandomDrop) Install() {
+	r.Spine.DropFn = func(p *net.Packet) bool {
+		r.Seen++
+		if r.Rng.Float64() < r.Rate {
+			r.Dropped++
+			return true
+		}
+		return false
+	}
+}
+
+// Blackhole deterministically drops packets whose (src, dst) pair matches
+// the configured predicate at one spine switch — modeling TCAM-deficit
+// blackholes that match specific IP pairs [19]. The §5.3.3 scenario drops
+// half of the source-destination pairs from one rack to another.
+type Blackhole struct {
+	Spine *net.Switch
+	Match func(src, dst int) bool
+
+	Dropped uint64
+}
+
+// Install hooks the drop function onto the switch.
+func (b *Blackhole) Install() {
+	b.Spine.DropFn = func(p *net.Packet) bool {
+		if b.Match(p.Src, p.Dst) {
+			b.Dropped++
+			return true
+		}
+		return false
+	}
+}
+
+// RackPairBlackhole returns the §5.3.3 predicate: drop traffic (in both
+// directions) between half of the host pairs from rack srcLeaf to rack
+// dstLeaf. The "half" is chosen deterministically by parity of the host
+// pair, mirroring a pattern-matching TCAM fault.
+func RackPairBlackhole(nw *net.Network, srcLeaf, dstLeaf int) func(src, dst int) bool {
+	return func(src, dst int) bool {
+		s, d := src, dst
+		// Normalize direction so ACKs of affected flows die too.
+		if nw.LeafOf(s) == dstLeaf && nw.LeafOf(d) == srcLeaf {
+			s, d = d, s
+		}
+		if nw.LeafOf(s) != srcLeaf || nw.LeafOf(d) != dstLeaf {
+			return false
+		}
+		return (s+d)%2 == 0
+	}
+}
+
+// DegradeLinks reduces the capacity of a fraction of randomly selected
+// leaf-to-spine links to degradedBps (the §5.3.2 asymmetry: 20% of links at
+// 2 Gbps). It returns the degraded (leaf, spine) pairs.
+func DegradeLinks(nw *net.Network, rng *sim.RNG, fraction float64, degradedBps int64) [][2]int {
+	type link struct{ l, s int }
+	var all []link
+	for l := 0; l < nw.Cfg.Leaves; l++ {
+		for s := 0; s < nw.Cfg.Spines; s++ {
+			all = append(all, link{l, s})
+		}
+	}
+	n := int(fraction * float64(len(all)))
+	perm := rng.Perm(len(all))
+	var out [][2]int
+	for i := 0; i < n; i++ {
+		lk := all[perm[i]]
+		nw.SetFabricLink(lk.l, lk.s, degradedBps)
+		out = append(out, [2]int{lk.l, lk.s})
+	}
+	return out
+}
+
+// CutLink removes a leaf-spine link (all parallel cables) entirely.
+func CutLink(nw *net.Network, leaf, spine int) {
+	nw.SetFabricLink(leaf, spine, 0)
+}
+
+// CutCable removes one physical cable of a leaf-spine link — the paper's
+// testbed asymmetry (Fig 8b): one of the two leaf1-spine1 cables is
+// unplugged, leaving 3 of 4 paths and 75% of the bisection.
+func CutCable(nw *net.Network, leaf, spine, cable int) {
+	nw.SetCable(leaf, spine, cable, 0)
+}
+
+// Flap periodically degrades and restores one leaf-spine link — the
+// transient "gray failure" pattern production fabrics exhibit during
+// maintenance or marginal optics. Each period the link spends DownFor at
+// DegradedBps (0 = cut) and the rest at its original rate. Flapping
+// exercises a balancer's detection *and* recovery: schemes with sticky
+// avoidance waste capacity after restoration, schemes without detection
+// suffer during each dip.
+type Flap struct {
+	Net         *net.Network
+	Leaf, Spine int
+	Period      sim.Time
+	DownFor     sim.Time
+	DegradedBps int64
+
+	Cycles   int // 0 = forever
+	original int64
+	count    int
+}
+
+// Start begins the flapping cycle.
+func (f *Flap) Start() {
+	f.original = f.Net.FabricLinkRate(f.Leaf, f.Spine)
+	if f.Period <= 0 {
+		f.Period = 500 * sim.Millisecond
+	}
+	if f.DownFor <= 0 || f.DownFor >= f.Period {
+		f.DownFor = f.Period / 2
+	}
+	f.Net.Eng.Schedule(f.Period-f.DownFor, f.down)
+}
+
+func (f *Flap) down() {
+	f.Net.SetFabricLink(f.Leaf, f.Spine, f.DegradedBps)
+	f.Net.Eng.Schedule(f.DownFor, f.up)
+}
+
+func (f *Flap) up() {
+	f.Net.SetFabricLink(f.Leaf, f.Spine, f.original)
+	f.count++
+	if f.Cycles == 0 || f.count < f.Cycles {
+		f.Net.Eng.Schedule(f.Period-f.DownFor, f.down)
+	}
+}

@@ -1,0 +1,151 @@
+package failure
+
+import (
+	"testing"
+
+	"github.com/hermes-repro/hermes/internal/net"
+	"github.com/hermes-repro/hermes/internal/sim"
+)
+
+func testNet(t *testing.T) *net.Network {
+	t.Helper()
+	eng := sim.NewEngine()
+	nw, err := net.NewLeafSpine(eng, sim.NewRNG(1), net.Config{
+		Leaves: 4, Spines: 4, HostsPerLeaf: 4,
+		HostRateBps: 10e9, FabricRateBps: 10e9, HostDelay: 1000, FabricDelay: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestRandomDropRate(t *testing.T) {
+	nw := testNet(t)
+	rd := &RandomDrop{Spine: nw.Spines[0], Rate: 0.1, Rng: sim.NewRNG(2)}
+	rd.Install()
+	drops := 0
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		if nw.Spines[0].DropFn(&net.Packet{}) {
+			drops++
+		}
+	}
+	frac := float64(drops) / n
+	if frac < 0.08 || frac > 0.12 {
+		t.Fatalf("drop fraction = %.3f, want ~0.10", frac)
+	}
+	if rd.Dropped != uint64(drops) || rd.Seen != n {
+		t.Fatal("counters inconsistent")
+	}
+}
+
+func TestBlackholePredicate(t *testing.T) {
+	nw := testNet(t)
+	match := RackPairBlackhole(nw, 0, 3)
+	// Hosts 0..3 are rack 0, hosts 12..15 are rack 3.
+	affected, clean := 0, 0
+	for s := 0; s < 4; s++ {
+		for d := 12; d < 16; d++ {
+			if match(s, d) {
+				affected++
+				// The reverse direction (ACK path) must match too.
+				if !match(d, s) {
+					t.Fatalf("reverse of affected pair (%d,%d) not matched", s, d)
+				}
+			} else {
+				clean++
+			}
+		}
+	}
+	if affected != 8 || clean != 8 {
+		t.Fatalf("affected=%d clean=%d, want half of 16 pairs", affected, clean)
+	}
+	// Unrelated rack pairs must never match.
+	if match(0, 5) || match(4, 12) || match(12, 4) {
+		t.Fatal("predicate matched traffic outside the rack pair")
+	}
+}
+
+func TestBlackholeInstall(t *testing.T) {
+	nw := testNet(t)
+	b := &Blackhole{Spine: nw.Spines[1], Match: RackPairBlackhole(nw, 0, 3)}
+	b.Install()
+	pkt := &net.Packet{Src: 0, Dst: 12}
+	if !nw.Spines[1].DropFn(pkt) {
+		t.Fatal("matching packet not dropped")
+	}
+	if nw.Spines[1].DropFn(&net.Packet{Src: 0, Dst: 13}) {
+		t.Fatal("non-matching pair dropped")
+	}
+	if b.Dropped != 1 {
+		t.Fatalf("dropped counter = %d", b.Dropped)
+	}
+}
+
+func TestDegradeLinks(t *testing.T) {
+	nw := testNet(t)
+	degraded := DegradeLinks(nw, sim.NewRNG(3), 0.25, 2e9)
+	// 16 fabric links; 25% -> 4 degraded.
+	if len(degraded) != 4 {
+		t.Fatalf("degraded %d links, want 4", len(degraded))
+	}
+	count := 0
+	for l := 0; l < 4; l++ {
+		for s := 0; s < 4; s++ {
+			if nw.FabricLinkRate(l, s) == 2e9 {
+				count++
+			}
+		}
+	}
+	if count != 4 {
+		t.Fatalf("%d links at 2 Gbps, want 4", count)
+	}
+}
+
+func TestDegradeLinksDeterministic(t *testing.T) {
+	a := DegradeLinks(testNet(t), sim.NewRNG(7), 0.2, 2e9)
+	b := DegradeLinks(testNet(t), sim.NewRNG(7), 0.2, 2e9)
+	if len(a) != len(b) {
+		t.Fatal("same seed degraded different link counts")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed degraded different links")
+		}
+	}
+}
+
+func TestCutLink(t *testing.T) {
+	nw := testNet(t)
+	CutLink(nw, 1, 2)
+	if nw.FabricLinkRate(1, 2) != 0 {
+		t.Fatal("link not cut")
+	}
+	if len(nw.AvailablePaths(1, 0)) != 3 {
+		t.Fatal("path set not updated after cut")
+	}
+}
+
+func TestFlapCycles(t *testing.T) {
+	nw := testNet(t)
+	f := &Flap{Net: nw, Leaf: 0, Spine: 1,
+		Period: 10 * sim.Millisecond, DownFor: 4 * sim.Millisecond,
+		DegradedBps: 0, Cycles: 3}
+	f.Start()
+	eng := nw.Eng
+	// At t=7ms the link should be down (first dip spans 6..10ms).
+	eng.Run(7 * sim.Millisecond)
+	if nw.FabricLinkRate(0, 1) != 0 {
+		t.Fatal("link not degraded during dip")
+	}
+	eng.Run(11 * sim.Millisecond)
+	if nw.FabricLinkRate(0, 1) != 10e9 {
+		t.Fatal("link not restored after dip")
+	}
+	// After 3 cycles it must stay up forever.
+	eng.Run(sim.Second)
+	if nw.FabricLinkRate(0, 1) != 10e9 {
+		t.Fatal("flapping did not stop after Cycles")
+	}
+}

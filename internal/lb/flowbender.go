@@ -1,0 +1,83 @@
+package lb
+
+import (
+	"github.com/hermes-repro/hermes/internal/net"
+	"github.com/hermes-repro/hermes/internal/transport"
+)
+
+// FlowBender [23] keeps a flow on one path but "bends" it to a new random
+// path whenever the per-window ECN-marked fraction exceeds a threshold or
+// an RTO fires. Rerouting is blind — the new path is a fresh hash, chosen
+// without any knowledge of its condition — which is why the paper files it
+// under reactive-and-random (Table 1).
+type FlowBender struct {
+	transport.BaseBalancer
+	Net *net.Network
+
+	// MarkThreshold is the ECN fraction that triggers a bend (default 5%).
+	MarkThreshold float64
+	// WindowAcks is the number of ACKs per evaluation window.
+	WindowAcks int
+
+	state map[uint64]*benderState
+}
+
+type benderState struct {
+	v      uint64 // rerouting counter: path = hash(flow ^ v)
+	acks   int
+	marked int
+}
+
+// DefaultFlowBender returns the settings from [23].
+func DefaultFlowBender(nw *net.Network) *FlowBender {
+	return &FlowBender{Net: nw, MarkThreshold: 0.05, WindowAcks: 32}
+}
+
+// Name implements transport.Balancer.
+func (b *FlowBender) Name() string { return "FlowBender" }
+
+func (b *FlowBender) st(f *transport.Flow) *benderState {
+	if b.state == nil {
+		b.state = map[uint64]*benderState{}
+	}
+	s := b.state[f.ID]
+	if s == nil {
+		s = &benderState{}
+		b.state[f.ID] = s
+	}
+	return s
+}
+
+// SelectPath implements transport.Balancer.
+func (b *FlowBender) SelectPath(f *transport.Flow) int {
+	paths := b.Net.AvailablePaths(f.SrcLeaf, f.DstLeaf)
+	if len(paths) == 0 {
+		return net.PathAny
+	}
+	s := b.st(f)
+	return paths[hashPath(f.ID^(s.v*0x9e3779b97f4a7c15+s.v), len(paths))]
+}
+
+// OnAck implements transport.Balancer: evaluates the marked fraction once
+// per window of ACKs.
+func (b *FlowBender) OnAck(f *transport.Flow, ev transport.AckEvent) {
+	s := b.st(f)
+	s.acks++
+	if ev.ECE {
+		s.marked++
+	}
+	if s.acks >= b.WindowAcks {
+		if float64(s.marked)/float64(s.acks) > b.MarkThreshold {
+			s.v++
+		}
+		s.acks, s.marked = 0, 0
+	}
+}
+
+// OnTimeout implements transport.Balancer: an RTO always bends.
+func (b *FlowBender) OnTimeout(f *transport.Flow, _ int) {
+	b.st(f).v++
+}
+
+// OnFlowDone implements transport.Balancer.
+func (b *FlowBender) OnFlowDone(f *transport.Flow) { delete(b.state, f.ID) }

@@ -1,0 +1,171 @@
+// Package lb implements every load balancing scheme the paper evaluates
+// against Hermes (Table 1): host-based ECMP, Presto*, DRB, CLOVE-ECN and
+// FlowBender as transport.Balancer implementations, and in-switch LetFlow,
+// CONGA and DRILL as net.SwitchBalancer implementations installed on leaf
+// switches. Hermes itself lives in internal/core.
+package lb
+
+import (
+	"github.com/hermes-repro/hermes/internal/net"
+	"github.com/hermes-repro/hermes/internal/transport"
+)
+
+// mix64 is the splitmix64 finalizer used for flow hashing.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashPath deterministically maps a flow id onto one of n paths.
+func hashPath(flow uint64, n int) int {
+	if n <= 0 {
+		return net.PathAny
+	}
+	return int(mix64(flow) % uint64(n))
+}
+
+// ECMP hashes each flow onto a path once and never reroutes — the
+// production default the paper uses as the baseline.
+type ECMP struct {
+	transport.BaseBalancer
+	Net *net.Network
+}
+
+// Name implements transport.Balancer.
+func (e *ECMP) Name() string { return "ECMP" }
+
+// SelectPath implements transport.Balancer.
+func (e *ECMP) SelectPath(f *transport.Flow) int {
+	if f.Started() {
+		return f.CurPath
+	}
+	paths := e.Net.AvailablePaths(f.SrcLeaf, f.DstLeaf)
+	if len(paths) == 0 {
+		return net.PathAny
+	}
+	return paths[hashPath(f.ID, len(paths))]
+}
+
+// PassThrough defers every decision to the in-switch balancer (used for
+// CONGA, LetFlow and DRILL runs).
+type PassThrough struct {
+	transport.BaseBalancer
+	Scheme string
+}
+
+// Name implements transport.Balancer.
+func (p *PassThrough) Name() string { return p.Scheme }
+
+// SelectPath implements transport.Balancer.
+func (p *PassThrough) SelectPath(*transport.Flow) int { return net.PathAny }
+
+// Spray is per-packet weighted round-robin spraying: with equal weights it
+// is DRB; with topology-proportional weights and the transport's reordering
+// buffer enabled it is Presto* (the paper sprays single packets rather than
+// flowcells and masks reordering, §5.1). Weighted selection uses the smooth
+// weighted round-robin algorithm, so the schedule is deterministic.
+type Spray struct {
+	transport.BaseBalancer
+	Net        *net.Network
+	SchemeName string
+	// WeightByCapacity assigns static per-path weights proportional to the
+	// bottleneck capacity of each path (the topology-dependent weights the
+	// paper grants Presto* in asymmetric runs).
+	WeightByCapacity bool
+
+	perDst map[int]*wrrState // keyed by destination leaf
+}
+
+type wrrState struct {
+	paths   []int
+	weight  []float64
+	current []float64
+	total   float64
+}
+
+// Name implements transport.Balancer.
+func (s *Spray) Name() string { return s.SchemeName }
+
+// SelectPath implements transport.Balancer.
+func (s *Spray) SelectPath(f *transport.Flow) int {
+	if s.perDst == nil {
+		s.perDst = map[int]*wrrState{}
+	}
+	st := s.perDst[f.DstLeaf]
+	if st == nil {
+		st = s.newState(f.SrcLeaf, f.DstLeaf)
+		s.perDst[f.DstLeaf] = st
+	}
+	if len(st.paths) == 0 {
+		return net.PathAny
+	}
+	// Smooth WRR: raise every current by its weight, pick the max, then
+	// lower the winner by the total.
+	best := 0
+	for i := range st.paths {
+		st.current[i] += st.weight[i]
+		if st.current[i] > st.current[best] {
+			best = i
+		}
+	}
+	st.current[best] -= st.total
+	return st.paths[best]
+}
+
+func (s *Spray) newState(srcLeaf, dstLeaf int) *wrrState {
+	paths := s.Net.AvailablePaths(srcLeaf, dstLeaf)
+	st := &wrrState{paths: paths}
+	st.weight = make([]float64, len(paths))
+	st.current = make([]float64, len(paths))
+	for i, p := range paths {
+		w := 1.0
+		if s.WeightByCapacity {
+			w = float64(s.Net.PathCapacityBps(srcLeaf, dstLeaf, p))
+		}
+		st.weight[i] = w
+		st.total += w
+	}
+	return st
+}
+
+// WCMP is weighted-cost multipath: per-flow random path selection with
+// probabilities proportional to path capacity. It is the static
+// asymmetry-aware strawman between ECMP (unweighted) and Presto* (per-packet
+// weighted): flows never reroute, so it shares ECMP's failure blindness.
+type WCMP struct {
+	transport.BaseBalancer
+	Net *net.Network
+}
+
+// Name implements transport.Balancer.
+func (w *WCMP) Name() string { return "WCMP" }
+
+// SelectPath implements transport.Balancer.
+func (w *WCMP) SelectPath(f *transport.Flow) int {
+	if f.Started() {
+		return f.CurPath
+	}
+	paths := w.Net.AvailablePaths(f.SrcLeaf, f.DstLeaf)
+	if len(paths) == 0 {
+		return net.PathAny
+	}
+	var total int64
+	for _, p := range paths {
+		total += w.Net.PathCapacityBps(f.SrcLeaf, f.DstLeaf, p)
+	}
+	if total <= 0 {
+		return paths[hashPath(f.ID, len(paths))]
+	}
+	// Deterministic per flow: derive the draw from the flow id hash so that
+	// retried selections stay stable, like a real weighted hash group.
+	u := int64(mix64(f.ID) % uint64(total))
+	for _, p := range paths {
+		u -= w.Net.PathCapacityBps(f.SrcLeaf, f.DstLeaf, p)
+		if u < 0 {
+			return p
+		}
+	}
+	return paths[len(paths)-1]
+}

@@ -1,0 +1,190 @@
+// Package metrics collects the statistics the paper reports: flow completion
+// times overall and broken down into small (<100 KB) and large (>10 MB)
+// flows, tail percentiles, unfinished-flow fractions, queue occupancy time
+// series and the visibility measure of Table 2.
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"github.com/hermes-repro/hermes/internal/sim"
+)
+
+// Flow-size buckets used throughout the evaluation (§5.1).
+const (
+	SmallFlowBytes = 100_000    // flows under 100 KB are "small"
+	LargeFlowBytes = 10_000_000 // flows over 10 MB are "large"
+)
+
+// FCTSample records one finished (or force-closed) flow.
+type FCTSample struct {
+	Size     int64
+	FCT      sim.Time
+	Finished bool
+}
+
+// FCTRecorder accumulates completion times. Setting IdealFCT enables
+// slowdown statistics: each flow's FCT divided by what it would take alone
+// on an idle fabric (the "FCT slowdown" metric common in this literature).
+type FCTRecorder struct {
+	samples []FCTSample
+
+	// IdealFCT, when non-nil, returns the unloaded completion time for a
+	// flow of the given size.
+	IdealFCT func(size int64) sim.Time
+}
+
+// Record adds a finished flow.
+func (r *FCTRecorder) Record(size int64, fct sim.Time) {
+	r.samples = append(r.samples, FCTSample{Size: size, FCT: fct, Finished: true})
+}
+
+// RecordUnfinished adds a flow that did not complete before the simulation
+// horizon; elapsed is the time it has been running. Following the paper's
+// blackhole analysis, unfinished flows are charged their elapsed time, which
+// inflates the average exactly as Figure 17 describes.
+func (r *FCTRecorder) RecordUnfinished(size int64, elapsed sim.Time) {
+	r.samples = append(r.samples, FCTSample{Size: size, FCT: elapsed, Finished: false})
+}
+
+// Len returns the number of recorded flows.
+func (r *FCTRecorder) Len() int { return len(r.samples) }
+
+// Stats summarizes flow completion times for one bucket.
+type Stats struct {
+	Count int
+	Mean  float64 // nanoseconds
+	P50   sim.Time
+	P95   sim.Time
+	P99   sim.Time
+}
+
+// MeanMs returns the mean in milliseconds (convenience for reports).
+func (s Stats) MeanMs() float64 { return s.Mean / 1e6 }
+
+// P99Ms returns the 99th percentile in milliseconds.
+func (s Stats) P99Ms() float64 { return float64(s.P99) / 1e6 }
+
+// nearestRank returns the nearest-rank percentile index for n sorted values.
+func nearestRank(p float64, n int) int {
+	idx := int(math.Ceil(p*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}
+
+func computeStats(fcts []sim.Time) Stats {
+	if len(fcts) == 0 {
+		return Stats{}
+	}
+	sort.Slice(fcts, func(i, j int) bool { return fcts[i] < fcts[j] })
+	var sum float64
+	for _, f := range fcts {
+		sum += float64(f)
+	}
+	pct := func(p float64) sim.Time {
+		return fcts[nearestRank(p, len(fcts))]
+	}
+	return Stats{
+		Count: len(fcts),
+		Mean:  sum / float64(len(fcts)),
+		P50:   pct(0.50),
+		P95:   pct(0.95),
+		P99:   pct(0.99),
+	}
+}
+
+// SlowdownStats summarizes FCT slowdown (measured FCT over unloaded FCT).
+type SlowdownStats struct {
+	Count int
+	Mean  float64
+	P50   float64
+	P99   float64
+}
+
+// Report is the full FCT summary of one experiment run.
+type Report struct {
+	Overall Stats
+	Small   Stats // flows < 100 KB
+	Medium  Stats // flows in [100 KB, 10 MB]
+	Large   Stats // flows > 10 MB
+
+	// Slowdown is populated when the recorder has an IdealFCT model.
+	Slowdown SlowdownStats
+
+	Flows      int
+	Unfinished int
+	// UnfinishedFrac is the fraction of flows that never completed
+	// (Fig 17b).
+	UnfinishedFrac float64
+}
+
+// Report computes the summary over everything recorded so far.
+func (r *FCTRecorder) Report() Report {
+	var all, small, medium, large []sim.Time
+	unfinished := 0
+	for _, s := range r.samples {
+		all = append(all, s.FCT)
+		switch {
+		case s.Size < SmallFlowBytes:
+			small = append(small, s.FCT)
+		case s.Size > LargeFlowBytes:
+			large = append(large, s.FCT)
+		default:
+			medium = append(medium, s.FCT)
+		}
+		if !s.Finished {
+			unfinished++
+		}
+	}
+	rep := Report{
+		Overall:    computeStats(all),
+		Small:      computeStats(small),
+		Medium:     computeStats(medium),
+		Large:      computeStats(large),
+		Flows:      len(r.samples),
+		Unfinished: unfinished,
+	}
+	if len(r.samples) > 0 {
+		rep.UnfinishedFrac = float64(unfinished) / float64(len(r.samples))
+	}
+	if r.IdealFCT != nil {
+		rep.Slowdown = r.slowdown()
+	}
+	return rep
+}
+
+func (r *FCTRecorder) slowdown() SlowdownStats {
+	vals := make([]float64, 0, len(r.samples))
+	for _, s := range r.samples {
+		ideal := r.IdealFCT(s.Size)
+		if ideal <= 0 {
+			continue
+		}
+		sd := float64(s.FCT) / float64(ideal)
+		if sd < 1 {
+			sd = 1 // measurement granularity; a flow cannot beat the ideal
+		}
+		vals = append(vals, sd)
+	}
+	if len(vals) == 0 {
+		return SlowdownStats{}
+	}
+	sort.Float64s(vals)
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	pct := func(p float64) float64 { return vals[nearestRank(p, len(vals))] }
+	return SlowdownStats{
+		Count: len(vals),
+		Mean:  sum / float64(len(vals)),
+		P50:   pct(0.50),
+		P99:   pct(0.99),
+	}
+}

@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"math"
+
+	"github.com/hermes-repro/hermes/internal/net"
+	"github.com/hermes-repro/hermes/internal/sim"
+	"github.com/hermes-repro/hermes/internal/transport"
+)
+
+// QueueSample is one observation of a port's data-queue depth.
+type QueueSample struct {
+	At    sim.Time
+	Bytes int
+}
+
+// QueueSampler periodically records a port's queue occupancy (the signal
+// behind Figures 2b, 3b and 4b).
+type QueueSampler struct {
+	Port     *net.Port
+	Interval sim.Time
+	Samples  []QueueSample
+
+	eng  *sim.Engine
+	stop bool
+}
+
+// Start begins sampling on the engine until Stop is called.
+func (q *QueueSampler) Start(eng *sim.Engine) {
+	q.eng = eng
+	q.tick()
+}
+
+// Stop ends sampling.
+func (q *QueueSampler) Stop() { q.stop = true }
+
+func (q *QueueSampler) tick() {
+	if q.stop {
+		return
+	}
+	q.Samples = append(q.Samples, QueueSample{At: q.eng.Now(), Bytes: q.Port.QueuedBytes()})
+	q.eng.Schedule(q.Interval, q.tick)
+}
+
+// MaxBytes returns the maximum sampled occupancy.
+func (q *QueueSampler) MaxBytes() int {
+	max := 0
+	for _, s := range q.Samples {
+		if s.Bytes > max {
+			max = s.Bytes
+		}
+	}
+	return max
+}
+
+// MeanBytes returns the average sampled occupancy.
+func (q *QueueSampler) MeanBytes() float64 {
+	if len(q.Samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range q.Samples {
+		sum += float64(s.Bytes)
+	}
+	return sum / float64(len(q.Samples))
+}
+
+// StdDevBytes returns the standard deviation of occupancy — the
+// "queue oscillation" measure of §2.2.2.
+func (q *QueueSampler) StdDevBytes() float64 {
+	n := len(q.Samples)
+	if n == 0 {
+		return 0
+	}
+	mean := q.MeanBytes()
+	var ss float64
+	for _, s := range q.Samples {
+		d := float64(s.Bytes) - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// VisibilitySampler measures Table 2: the average number of concurrent
+// flows observable per parallel path, at switch-pair granularity (all flows
+// between two leaves) and at host-pair granularity (flows between two
+// specific hosts).
+type VisibilitySampler struct {
+	Tr       *transport.Transport
+	Interval sim.Time
+
+	samples    int
+	switchPair float64 // running sum of flows/(leafPairs*paths)
+	hostPair   float64 // running sum of flows/(hostPairs*paths)
+
+	eng  *sim.Engine
+	stop bool
+}
+
+// Start begins sampling.
+func (v *VisibilitySampler) Start(eng *sim.Engine) {
+	v.eng = eng
+	v.tick()
+}
+
+// Stop ends sampling.
+func (v *VisibilitySampler) Stop() { v.stop = true }
+
+func (v *VisibilitySampler) tick() {
+	if v.stop {
+		return
+	}
+	nw := v.Tr.Net
+	leaves := nw.Cfg.Leaves
+	hosts := len(nw.Hosts)
+	paths := nw.NPaths()
+	interLeaf := 0
+	for _, f := range v.Tr.ActiveFlows() {
+		if f.SrcLeaf != f.DstLeaf {
+			interLeaf++
+		}
+	}
+	leafPairs := leaves * (leaves - 1)
+	hostPairs := hosts * (hosts - nw.Cfg.HostsPerLeaf)
+	if leafPairs > 0 && paths > 0 {
+		v.switchPair += float64(interLeaf) / float64(leafPairs*paths)
+	}
+	if hostPairs > 0 && paths > 0 {
+		v.hostPair += float64(interLeaf) / float64(hostPairs*paths)
+	}
+	v.samples++
+	v.eng.Schedule(v.Interval, v.tick)
+}
+
+// SwitchPair returns the average concurrent flows per parallel path visible
+// to a source ToR switch (Table 2, row 1).
+func (v *VisibilitySampler) SwitchPair() float64 {
+	if v.samples == 0 {
+		return 0
+	}
+	return v.switchPair / float64(v.samples)
+}
+
+// HostPair returns the same measure for an end-host pair (Table 2, row 2).
+func (v *VisibilitySampler) HostPair() float64 {
+	if v.samples == 0 {
+		return 0
+	}
+	return v.hostPair / float64(v.samples)
+}

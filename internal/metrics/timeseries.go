@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/hermes-repro/hermes/internal/net"
+	"github.com/hermes-repro/hermes/internal/sim"
+)
+
+// ThroughputSample is one interval's goodput observation for a port.
+type ThroughputSample struct {
+	At   sim.Time
+	Gbps float64
+}
+
+// ThroughputSampler periodically differences a port's TxBytes counter into
+// a goodput time series (the signal behind Figures 2b/3b's rate plots).
+type ThroughputSampler struct {
+	Port     *net.Port
+	Interval sim.Time
+	Samples  []ThroughputSample
+
+	eng  *sim.Engine
+	prev uint64
+	stop bool
+}
+
+// Start begins sampling until Stop.
+func (t *ThroughputSampler) Start(eng *sim.Engine) {
+	t.eng = eng
+	t.prev = t.Port.TxBytes
+	t.eng.Schedule(t.Interval, t.tick)
+}
+
+// Stop ends sampling.
+func (t *ThroughputSampler) Stop() { t.stop = true }
+
+func (t *ThroughputSampler) tick() {
+	if t.stop {
+		return
+	}
+	cur := t.Port.TxBytes
+	gbps := float64(cur-t.prev) * 8 / float64(t.Interval)
+	t.prev = cur
+	t.Samples = append(t.Samples, ThroughputSample{At: t.eng.Now(), Gbps: gbps})
+	t.eng.Schedule(t.Interval, t.tick)
+}
+
+// MeanGbps returns the average sampled goodput.
+func (t *ThroughputSampler) MeanGbps() float64 {
+	if len(t.Samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range t.Samples {
+		sum += s.Gbps
+	}
+	return sum / float64(len(t.Samples))
+}
+
+// WriteCSV emits "time_us,gbps" rows for external plotting.
+func (t *ThroughputSampler) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "time_us,gbps"); err != nil {
+		return err
+	}
+	for _, s := range t.Samples {
+		if _, err := fmt.Fprintf(w, "%d,%.4f\n", s.At/1000, s.Gbps); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteQueueCSV emits "time_us,bytes" rows for a queue sampler.
+func (q *QueueSampler) WriteQueueCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "time_us,bytes"); err != nil {
+		return err
+	}
+	for _, s := range q.Samples {
+		if _, err := fmt.Fprintf(w, "%d,%d\n", s.At/1000, s.Bytes); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hermes-repro/hermes/internal/net"
+	"github.com/hermes-repro/hermes/internal/sim"
+)
+
+func TestThroughputSampler(t *testing.T) {
+	eng := sim.NewEngine()
+	port := net.NewPort(eng, "t", net.PortConfig{RateBps: 10e9, ECNK: -1}, func(*net.Packet) {})
+	ts := &ThroughputSampler{Port: port, Interval: 100 * sim.Microsecond}
+	ts.Start(eng)
+	// Offer exactly line rate for 2 ms: 1500 B every 1.2 us.
+	var inject func()
+	n := 0
+	inject = func() {
+		if n >= 1500 {
+			return
+		}
+		n++
+		port.Enqueue(&net.Packet{Kind: net.Data, Wire: 1500})
+		eng.Schedule(1200, inject)
+	}
+	inject()
+	eng.Run(2 * sim.Millisecond)
+	ts.Stop()
+	if len(ts.Samples) < 10 {
+		t.Fatalf("only %d samples", len(ts.Samples))
+	}
+	mean := ts.MeanGbps()
+	if mean < 8 || mean > 10.5 {
+		t.Fatalf("mean goodput %.2f Gbps, want ~10", mean)
+	}
+	var sb strings.Builder
+	if err := ts.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "time_us,gbps\n") {
+		t.Fatal("CSV header missing")
+	}
+	if strings.Count(sb.String(), "\n") != len(ts.Samples)+1 {
+		t.Fatal("CSV row count mismatch")
+	}
+}
+
+func TestQueueCSV(t *testing.T) {
+	q := &QueueSampler{Samples: []QueueSample{{At: 1000, Bytes: 42}}}
+	var sb strings.Builder
+	if err := q.WriteQueueCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "1,42") {
+		t.Fatalf("CSV content wrong: %q", sb.String())
+	}
+}

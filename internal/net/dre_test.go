@@ -1,0 +1,91 @@
+package net
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/hermes-repro/hermes/internal/sim"
+)
+
+func TestDREConvergesToRate(t *testing.T) {
+	d := NewDRE(200 * sim.Microsecond)
+	// Feed 1250 bytes every 1 us => 10 Gbps.
+	var now sim.Time
+	for i := 0; i < 5000; i++ {
+		d.Add(1250, now)
+		now += sim.Microsecond
+	}
+	got := d.RateBps(now)
+	want := 10e9
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("rate = %.3g, want ~%.3g", got, want)
+	}
+}
+
+func TestDREDecaysToZero(t *testing.T) {
+	d := NewDRE(200 * sim.Microsecond)
+	d.Add(1_000_000, 0)
+	if r := d.RateBps(10 * sim.Millisecond); r > 1 {
+		t.Fatalf("rate after 50 tau = %.3g, want ~0", r)
+	}
+}
+
+func TestDREMonotoneDecay(t *testing.T) {
+	d := NewDRE(0)
+	d.Add(100_000, 0)
+	prev := d.RateBps(0)
+	for _, dt := range []sim.Time{10_000, 50_000, 200_000, 1_000_000} {
+		r := d.RateBps(dt)
+		if r > prev {
+			t.Fatalf("rate increased with idle time: %.3g -> %.3g", prev, r)
+		}
+		prev = r
+	}
+}
+
+func TestDREQuantizeBounds(t *testing.T) {
+	f := func(bytes uint32, capKbps uint32) bool {
+		d := NewDRE(0)
+		d.Add(int(bytes%10_000_000), 0)
+		q := d.Quantize(0, int64(capKbps)*1000, 8)
+		return q <= 7
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDREQuantizeZeroCapacity(t *testing.T) {
+	d := NewDRE(0)
+	if q := d.Quantize(0, 0, 8); q != 7 {
+		t.Fatalf("zero-capacity quantization = %d, want saturated 7", q)
+	}
+}
+
+func TestDREQuantizeIdleIsZero(t *testing.T) {
+	d := NewDRE(0)
+	if q := d.Quantize(0, 10e9, 8); q != 0 {
+		t.Fatalf("idle quantization = %d, want 0", q)
+	}
+}
+
+// Property: adding bytes never decreases the instantaneous rate.
+func TestDREAddIncreasesRate(t *testing.T) {
+	f := func(adds []uint16) bool {
+		d := NewDRE(0)
+		var now sim.Time
+		for _, a := range adds {
+			before := d.RateBps(now)
+			d.Add(int(a)+1, now)
+			if d.RateBps(now) < before {
+				return false
+			}
+			now += 1000
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

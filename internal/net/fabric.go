@@ -1,0 +1,350 @@
+package net
+
+import (
+	"fmt"
+
+	"github.com/hermes-repro/hermes/internal/sim"
+)
+
+// Handler consumes packets delivered to a host.
+type Handler func(*Packet)
+
+// SwitchBalancer is the plug-in point for in-switch load balancing at leaf
+// switches (CONGA, LetFlow, DRILL). Host-based schemes leave it nil and pin
+// paths via Packet.Path instead.
+type SwitchBalancer interface {
+	// SelectUplink picks the spine index for a packet entering the fabric,
+	// consulted only when the packet does not pin a path itself.
+	SelectUplink(pkt *Packet, dstLeaf int) int
+	// OnDepart runs for every packet entering the fabric at this leaf,
+	// before uplink selection (CONGA stamps feedback here).
+	OnDepart(pkt *Packet, dstLeaf int)
+	// OnArrive runs for every packet leaving the fabric at this leaf
+	// (CONGA harvests congestion metrics and feedback here).
+	OnArrive(pkt *Packet, srcLeaf int)
+}
+
+// Host is an end system attached to a leaf switch.
+type Host struct {
+	ID   int
+	Leaf int
+
+	net      *Network
+	uplink   *Port
+	handlers [nKinds]Handler
+}
+
+// Handle registers the consumer for a packet kind at this host.
+func (h *Host) Handle(k Kind, fn Handler) { h.handlers[k] = fn }
+
+// Send injects a packet into the fabric through the host's access link.
+func (h *Host) Send(pkt *Packet) { h.uplink.Enqueue(pkt) }
+
+// Uplink exposes the access-link port (for utilization accounting).
+func (h *Host) Uplink() *Port { return h.uplink }
+
+func (h *Host) deliver(pkt *Packet) {
+	if fn := h.handlers[pkt.Kind]; fn != nil {
+		fn(pkt)
+	}
+}
+
+// Switch is a leaf or spine switch.
+type Switch struct {
+	IsLeaf bool
+	Index  int // leaf index or spine index
+
+	net *Network
+
+	// Leaf: up[s] reaches spine s, down[i] reaches the i-th local host.
+	// Spine: down[l] reaches leaf l; up is nil.
+	up   []*Port
+	down []*Port
+
+	// DropFn models switch malfunctions (§2.1): returning true silently
+	// drops the packet. Used by the blackhole and random-drop injectors.
+	DropFn func(*Packet) bool
+
+	// Balancer, on leaf switches, performs in-switch path selection.
+	Balancer SwitchBalancer
+}
+
+// Uplink returns the port toward spine s (leaf switches only).
+func (s *Switch) Uplink(spine int) *Port { return s.up[spine] }
+
+// Downlink returns the port toward local host slot i (leaf) or leaf i (spine).
+func (s *Switch) Downlink(i int) *Port { return s.down[i] }
+
+func (s *Switch) receive(pkt *Packet) {
+	if s.DropFn != nil && s.DropFn(pkt) {
+		return
+	}
+	n := s.net
+	if !s.IsLeaf {
+		// Spine: forward down toward the destination leaf over the same
+		// cable index the packet arrived on (cables are independent links).
+		s.down[n.LeafOf(pkt.Dst)*n.Cfg.cables()+n.PathCable(pkt.Path)].Enqueue(pkt)
+		return
+	}
+	dstLeaf := n.LeafOf(pkt.Dst)
+	if dstLeaf == s.Index {
+		// Down direction (from fabric or local host) toward the host.
+		if srcLeaf := n.LeafOf(pkt.Src); srcLeaf != s.Index && s.Balancer != nil {
+			s.Balancer.OnArrive(pkt, srcLeaf)
+		}
+		s.down[pkt.Dst-n.firstHost(s.Index)].Enqueue(pkt)
+		return
+	}
+	// Up direction: pick a spine.
+	if s.Balancer != nil {
+		s.Balancer.OnDepart(pkt, dstLeaf)
+	}
+	path := pkt.Path
+	if path < 0 {
+		if s.Balancer != nil {
+			path = s.Balancer.SelectUplink(pkt, dstLeaf)
+		} else {
+			// Default ECMP hash on the flow id.
+			path = int(hash64(pkt.Flow) % uint64(len(s.up)))
+		}
+		pkt.Path = path
+	}
+	if path < 0 || path >= len(s.up) {
+		path = int(hash64(pkt.Flow) % uint64(len(s.up)))
+		pkt.Path = path
+	}
+	s.up[path].Enqueue(pkt)
+}
+
+// hash64 is a 64-bit mix (splitmix64 finalizer) used for flow hashing.
+func hash64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Config describes a leaf-spine fabric.
+type Config struct {
+	Leaves       int
+	Spines       int
+	HostsPerLeaf int
+
+	HostRateBps   int64
+	FabricRateBps int64
+
+	HostDelay   sim.Time // one-way propagation, host <-> leaf
+	FabricDelay sim.Time // one-way propagation, leaf <-> spine
+
+	// QueueFactor sizes each port's drop-tail queue as QueueFactor x the
+	// ECN threshold (0 = default 5). Shallow-buffer switches (2-3x) drop on
+	// transient spikes that deep buffers absorb.
+	QueueFactor int
+
+	// CablesPerLink is the number of parallel physical cables per
+	// leaf-spine pair (0/1 = one). The paper's testbed wires two 1 Gbps
+	// cables per pair; XPath enumerates each cable as a distinct path, so
+	// a "link cut" removes one path of four rather than a whole spine.
+	CablesPerLink int
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Leaves < 2:
+		return fmt.Errorf("net: need at least 2 leaves, got %d", c.Leaves)
+	case c.Spines < 1:
+		return fmt.Errorf("net: need at least 1 spine, got %d", c.Spines)
+	case c.HostsPerLeaf < 1:
+		return fmt.Errorf("net: need at least 1 host per leaf, got %d", c.HostsPerLeaf)
+	case c.HostRateBps <= 0 || c.FabricRateBps <= 0:
+		return fmt.Errorf("net: link rates must be positive")
+	case c.CablesPerLink < 0:
+		return fmt.Errorf("net: CablesPerLink must be non-negative")
+	}
+	return nil
+}
+
+// cables returns the effective cables-per-link count.
+func (c Config) cables() int {
+	if c.CablesPerLink <= 0 {
+		return 1
+	}
+	return c.CablesPerLink
+}
+
+// Network is a fully wired leaf-spine fabric.
+type Network struct {
+	Eng *sim.Engine
+	Rng *sim.RNG
+	Cfg Config
+
+	Hosts  []*Host
+	Leaves []*Switch
+	Spines []*Switch
+
+	// fabric[l][p] is the current capacity of cable/path p at leaf l
+	// (both directions), where p = spine*cables + cable.
+	fabric [][]int64
+
+	pathCache map[int][]int // srcLeaf*L+dstLeaf -> usable path indices
+}
+
+// NewLeafSpine builds the fabric described by cfg.
+func NewLeafSpine(eng *sim.Engine, rng *sim.RNG, cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{Eng: eng, Rng: rng, Cfg: cfg, pathCache: map[int][]int{}}
+	for l := 0; l < cfg.Leaves; l++ {
+		n.Leaves = append(n.Leaves, &Switch{IsLeaf: true, Index: l, net: n})
+	}
+	for s := 0; s < cfg.Spines; s++ {
+		n.Spines = append(n.Spines, &Switch{Index: s, net: n})
+	}
+	for id := 0; id < cfg.Leaves*cfg.HostsPerLeaf; id++ {
+		n.Hosts = append(n.Hosts, &Host{ID: id, Leaf: id / cfg.HostsPerLeaf, net: n})
+	}
+	qf := cfg.QueueFactor
+	hostPort := PortConfig{RateBps: cfg.HostRateBps, PropDelay: cfg.HostDelay, ECNK: -1,
+		QueueCap: qf * DefaultECNK(cfg.HostRateBps)}
+	fabricPort := PortConfig{RateBps: cfg.FabricRateBps, PropDelay: cfg.FabricDelay, ECNK: -1,
+		QueueCap: qf * DefaultECNK(cfg.FabricRateBps)}
+
+	C := cfg.cables()
+	n.fabric = make([][]int64, cfg.Leaves)
+	for l, leaf := range n.Leaves {
+		n.fabric[l] = make([]int64, cfg.Spines*C)
+		for s := range n.Spines {
+			sp := n.Spines[s]
+			for c := 0; c < C; c++ {
+				p := s*C + c
+				n.fabric[l][p] = cfg.FabricRateBps
+				leaf.up = append(leaf.up, NewPort(eng,
+					fmt.Sprintf("leaf%d->spine%d.%d", l, s, c), fabricPort, sp.receive))
+				// spine.down is indexed leaf*C + cable.
+				sp.down = append(sp.down, NewPort(eng,
+					fmt.Sprintf("spine%d->leaf%d.%d", s, l, c), fabricPort, leaf.receive))
+			}
+		}
+		for i := 0; i < cfg.HostsPerLeaf; i++ {
+			h := n.Hosts[l*cfg.HostsPerLeaf+i]
+			h.uplink = NewPort(eng, fmt.Sprintf("host%d->leaf%d", h.ID, l), hostPort, leaf.receive)
+			leaf.down = append(leaf.down, NewPort(eng, fmt.Sprintf("leaf%d->host%d", l, h.ID), hostPort, h.deliver))
+		}
+	}
+	return n, nil
+}
+
+// PathSpine maps a path index to its spine switch index.
+func (n *Network) PathSpine(path int) int { return path / n.Cfg.cables() }
+
+// PathCable maps a path index to its cable index within the spine link.
+func (n *Network) PathCable(path int) int { return path % n.Cfg.cables() }
+
+// UplinkPort returns leaf's port for the given path.
+func (n *Network) UplinkPort(leaf, path int) *Port { return n.Leaves[leaf].up[path] }
+
+// DownlinkPort returns the spine-side port of the given path toward leaf.
+func (n *Network) DownlinkPort(path, leaf int) *Port {
+	return n.Spines[n.PathSpine(path)].down[leaf*n.Cfg.cables()+n.PathCable(path)]
+}
+
+// LeafOf returns the leaf index of a host id.
+func (n *Network) LeafOf(host int) int { return host / n.Cfg.HostsPerLeaf }
+
+func (n *Network) firstHost(leaf int) int { return leaf * n.Cfg.HostsPerLeaf }
+
+// NPaths returns the number of parallel paths between distinct leaves
+// (spines x cables per link).
+func (n *Network) NPaths() int { return n.Cfg.Spines * n.Cfg.cables() }
+
+// SetFabricLink re-rates both directions of every cable of the leaf<->spine
+// link. A zero rate cuts the link entirely.
+func (n *Network) SetFabricLink(leaf, spine int, rateBps int64) {
+	for c := 0; c < n.Cfg.cables(); c++ {
+		n.SetCable(leaf, spine, c, rateBps)
+	}
+}
+
+// SetCable re-rates both directions of one physical cable of a leaf<->spine
+// link (the paper's testbed link cut removes exactly one cable).
+func (n *Network) SetCable(leaf, spine, cable int, rateBps int64) {
+	p := spine*n.Cfg.cables() + cable
+	n.fabric[leaf][p] = rateBps
+	n.Leaves[leaf].up[p].SetRateBps(rateBps)
+	n.Spines[spine].down[leaf*n.Cfg.cables()+cable].SetRateBps(rateBps)
+	n.pathCache = map[int][]int{}
+}
+
+// FabricLinkRate returns the current total leaf<->spine capacity across all
+// cables of the pair.
+func (n *Network) FabricLinkRate(leaf, spine int) int64 {
+	var total int64
+	for c := 0; c < n.Cfg.cables(); c++ {
+		total += n.fabric[leaf][spine*n.Cfg.cables()+c]
+	}
+	return total
+}
+
+// AvailablePaths lists the path indices usable between two distinct leaves
+// (both hops up and down must be alive). The returned slice is shared; do
+// not mutate it.
+func (n *Network) AvailablePaths(srcLeaf, dstLeaf int) []int {
+	key := srcLeaf*n.Cfg.Leaves + dstLeaf
+	if ps, ok := n.pathCache[key]; ok {
+		return ps
+	}
+	var ps []int
+	for p := 0; p < n.NPaths(); p++ {
+		if n.fabric[srcLeaf][p] > 0 && n.fabric[dstLeaf][p] > 0 {
+			ps = append(ps, p)
+		}
+	}
+	n.pathCache[key] = ps
+	return ps
+}
+
+// PathCapacityBps returns the bottleneck fabric capacity of path p between
+// two leaves.
+func (n *Network) PathCapacityBps(srcLeaf, dstLeaf, p int) int64 {
+	up, down := n.fabric[srcLeaf][p], n.fabric[dstLeaf][p]
+	if up < down {
+		return up
+	}
+	return down
+}
+
+// BisectionBps returns the aggregate usable leaf->spine capacity, the
+// normalization base for offered load.
+func (n *Network) BisectionBps() int64 {
+	var total int64
+	for l := range n.fabric {
+		for s := range n.fabric[l] {
+			total += n.fabric[l][s]
+		}
+	}
+	return total / 2 // half the fabric carries each direction on average
+}
+
+// ApproxBaseRTT estimates the unloaded inter-leaf RTT for a full-size data
+// segment and its pure ACK: four store-and-forward hops each way plus
+// propagation.
+func (n *Network) ApproxBaseRTT() sim.Time {
+	tx := func(bytes int, rate int64) sim.Time {
+		return sim.Time(int64(bytes) * 8 * sim.Second / rate)
+	}
+	fwd := 2*n.Cfg.HostDelay + 2*n.Cfg.FabricDelay +
+		2*tx(MaxPacketBytes, n.Cfg.HostRateBps) + 2*tx(MaxPacketBytes, n.Cfg.FabricRateBps)
+	rev := 2*n.Cfg.HostDelay + 2*n.Cfg.FabricDelay +
+		2*tx(AckBytes, n.Cfg.HostRateBps) + 2*tx(AckBytes, n.Cfg.FabricRateBps)
+	return fwd + rev
+}
+
+// OneHopDelay returns the queueing delay of one fully loaded fabric hop,
+// the paper's guideline for T_RTT_high and Delta_RTT (§3.3): ECN marking
+// threshold divided by link capacity.
+func (n *Network) OneHopDelay() sim.Time {
+	k := DefaultECNK(n.Cfg.FabricRateBps)
+	return sim.Time(int64(k) * 8 * sim.Second / n.Cfg.FabricRateBps)
+}

@@ -1,0 +1,89 @@
+// Package net models a source-routed leaf-spine datacenter fabric at packet
+// granularity: hosts, leaf and spine switches, unidirectional links with
+// drop-tail output queues, strict two-level priority, ECN/RED marking, and
+// per-port DRE utilization estimators. Explicit path control mirrors the
+// XPath mechanism the Hermes prototype uses: every packet may carry the
+// spine index it must traverse, and switches honor it.
+package net
+
+import "github.com/hermes-repro/hermes/internal/sim"
+
+// Kind discriminates packet types handled by hosts and switches.
+type Kind uint8
+
+const (
+	// Data is a TCP/DCTCP data segment.
+	Data Kind = iota
+	// Ack is a pure TCP acknowledgment; it travels in the high-priority
+	// queue as in the Hermes testbed configuration.
+	Ack
+	// Probe is a Hermes active probe. It shares the data queue so that it
+	// samples the congestion data packets would experience.
+	Probe
+	// ProbeEcho is the reply to a Probe; high priority, so the reverse trip
+	// adds minimal noise to the RTT measurement.
+	ProbeEcho
+	// UDPData is an unreliable constant-rate segment (used by the
+	// congestion-mismatch micro-benchmarks).
+	UDPData
+	nKinds
+)
+
+// Wire overheads in bytes.
+const (
+	HeaderBytes    = 40   // IP + TCP headers
+	MSS            = 1460 // TCP payload bytes per full segment
+	AckBytes       = 40   // pure ACK wire size
+	ProbeBytes     = 64   // Hermes probe wire size (§3.1.3)
+	MaxPacketBytes = MSS + HeaderBytes
+)
+
+// PathAny lets switches pick the uplink (used by switch-local balancers such
+// as CONGA, LetFlow and DRILL, and for intra-leaf traffic).
+const PathAny = -1
+
+// Packet is the unit of transmission. A single struct covers all kinds to
+// keep the hot path allocation-light; unused fields are zero.
+type Packet struct {
+	Kind Kind
+	Flow uint64
+	Src  int // source host id
+	Dst  int // destination host id
+
+	Seq     int64 // first payload byte (Data/UDPData); echoed seq for probes
+	Payload int   // payload bytes carried
+	Wire    int   // total bytes on the wire
+
+	// ECN state.
+	ECT bool // ECN-capable transport
+	CE  bool // congestion experienced (set by queues past the threshold)
+
+	// Path is the spine index this packet must traverse, or PathAny.
+	Path int
+
+	// SentAt is stamped by the sender when the packet leaves the host.
+	SentAt sim.Time
+	// Retx marks retransmitted segments (excluded from RTT sampling).
+	Retx bool
+
+	// ACK fields: cumulative ack plus a timestamp/path/CE echo of the data
+	// packet that triggered this ACK (TCP-timestamp-style, giving the
+	// sender one exact per-path RTT and ECN sample per delivered packet).
+	AckSeq   int64
+	EchoSent sim.Time
+	EchoPath int
+	EchoCE   bool
+
+	// CONGA metadata (see internal/lb/conga.go): the max DRE quantization
+	// observed along the forward path, plus one piggybacked feedback entry.
+	CongaCE  uint8
+	FbValid  bool
+	FbPath   uint8
+	FbMetric uint8
+}
+
+// IsHighPriority reports whether the packet travels in the strict
+// high-priority queue (pure ACKs and probe echoes, per §4 of the paper).
+func (p *Packet) IsHighPriority() bool {
+	return p.Kind == Ack || p.Kind == ProbeEcho
+}

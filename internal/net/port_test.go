@@ -1,0 +1,202 @@
+package net
+
+import (
+	"testing"
+
+	"github.com/hermes-repro/hermes/internal/sim"
+)
+
+func newTestPort(t *testing.T, rate int64, prop sim.Time) (*sim.Engine, *Port, *[]*Packet) {
+	t.Helper()
+	eng := sim.NewEngine()
+	var got []*Packet
+	p := NewPort(eng, "test", PortConfig{RateBps: rate, PropDelay: prop, ECNK: -1},
+		func(pkt *Packet) { got = append(got, pkt) })
+	return eng, p, &got
+}
+
+func TestPortDeliveryTiming(t *testing.T) {
+	eng, p, got := newTestPort(t, 1_000_000_000, 10*sim.Microsecond)
+	pkt := &Packet{Kind: Data, Wire: 1500}
+	p.Enqueue(pkt)
+	eng.RunAll()
+	if len(*got) != 1 {
+		t.Fatalf("delivered %d packets, want 1", len(*got))
+	}
+	// 1500 B at 1 Gbps = 12 us serialization + 10 us propagation.
+	want := sim.Time(12_000 + 10_000)
+	if eng.Now() != want {
+		t.Fatalf("delivery at %d ns, want %d", eng.Now(), want)
+	}
+}
+
+func TestPortFIFOWithinClass(t *testing.T) {
+	eng, p, got := newTestPort(t, 1_000_000_000, 0)
+	for i := 0; i < 10; i++ {
+		p.Enqueue(&Packet{Kind: Data, Wire: 100, Seq: int64(i)})
+	}
+	eng.RunAll()
+	for i, pkt := range *got {
+		if pkt.Seq != int64(i) {
+			t.Fatalf("packet %d has seq %d; FIFO violated", i, pkt.Seq)
+		}
+	}
+}
+
+func TestPortStrictPriority(t *testing.T) {
+	eng, p, got := newTestPort(t, 1_000_000_000, 0)
+	// Fill the data queue first, then enqueue an ACK: the ACK must overtake
+	// all but the in-flight data packet.
+	for i := 0; i < 5; i++ {
+		p.Enqueue(&Packet{Kind: Data, Wire: 1500, Seq: int64(i)})
+	}
+	p.Enqueue(&Packet{Kind: Ack, Wire: 40})
+	eng.RunAll()
+	if (*got)[0].Kind != Data {
+		t.Fatal("in-flight data packet should complete first")
+	}
+	if (*got)[1].Kind != Ack {
+		t.Fatalf("ACK did not overtake queued data: %v", (*got)[1].Kind)
+	}
+}
+
+func TestPortDropTail(t *testing.T) {
+	eng, p, got := newTestPort(t, 1_000_000_000, 0)
+	// Queue capacity for 1 Gbps defaults to 5*30000 = 150000 bytes.
+	n := 0
+	for i := 0; i < 200; i++ {
+		p.Enqueue(&Packet{Kind: Data, Wire: 1500})
+		n++
+	}
+	eng.RunAll()
+	if p.Drops == 0 {
+		t.Fatal("no drops despite 300 KB offered to a 150 KB queue")
+	}
+	if len(*got)+int(p.Drops) != n {
+		t.Fatalf("delivered %d + dropped %d != enqueued %d", len(*got), p.Drops, n)
+	}
+}
+
+func TestPortECNMarking(t *testing.T) {
+	eng, p, got := newTestPort(t, 1_000_000_000, 0)
+	// ECN threshold at 1 Gbps is 30 KB: the first ~20 packets must be
+	// unmarked, later ones marked.
+	for i := 0; i < 60; i++ {
+		p.Enqueue(&Packet{Kind: Data, Wire: 1500, ECT: true})
+	}
+	eng.RunAll()
+	if p.ECNMarks == 0 {
+		t.Fatal("no ECN marks despite queue exceeding threshold")
+	}
+	if (*got)[0].CE {
+		t.Fatal("first packet marked despite empty queue")
+	}
+	last := (*got)[len(*got)-1]
+	_ = last
+	marked := 0
+	for _, pkt := range *got {
+		if pkt.CE {
+			marked++
+		}
+	}
+	if marked != int(p.ECNMarks) {
+		t.Fatalf("marked %d packets but counter says %d", marked, p.ECNMarks)
+	}
+}
+
+func TestPortNoECNWithoutECT(t *testing.T) {
+	eng, p, got := newTestPort(t, 1_000_000_000, 0)
+	for i := 0; i < 60; i++ {
+		p.Enqueue(&Packet{Kind: Data, Wire: 1500, ECT: false})
+	}
+	eng.RunAll()
+	for _, pkt := range *got {
+		if pkt.CE {
+			t.Fatal("non-ECT packet was CE-marked")
+		}
+	}
+}
+
+func TestPortHighPriorityNeverDropped(t *testing.T) {
+	eng, p, got := newTestPort(t, 1_000_000_000, 0)
+	for i := 0; i < 300; i++ {
+		p.Enqueue(&Packet{Kind: Ack, Wire: 40})
+	}
+	eng.RunAll()
+	if len(*got) != 300 {
+		t.Fatalf("high-priority class dropped packets: %d/300", len(*got))
+	}
+}
+
+func TestPortDownDropsEverything(t *testing.T) {
+	eng, p, got := newTestPort(t, 1_000_000_000, 0)
+	p.SetRateBps(0)
+	p.Enqueue(&Packet{Kind: Data, Wire: 100})
+	p.Enqueue(&Packet{Kind: Ack, Wire: 40})
+	eng.RunAll()
+	if len(*got) != 0 || p.Drops != 2 {
+		t.Fatalf("cut link delivered %d, dropped %d", len(*got), p.Drops)
+	}
+}
+
+func TestPortOnTxHook(t *testing.T) {
+	eng, p, _ := newTestPort(t, 1_000_000_000, 0)
+	seen := 0
+	p.OnTx = func(pkt *Packet) { seen++ }
+	for i := 0; i < 5; i++ {
+		p.Enqueue(&Packet{Kind: Data, Wire: 100})
+	}
+	eng.RunAll()
+	if seen != 5 {
+		t.Fatalf("OnTx fired %d times, want 5", seen)
+	}
+}
+
+func TestPortThroughputAtCapacity(t *testing.T) {
+	eng, p, got := newTestPort(t, 10_000_000_000, 0)
+	// Saturate: 1000 packets of 1500 B at 10 Gbps should take 1500*8*100 ns
+	// each = 1.2 us => 1.2 ms total.
+	var inject func(i int)
+	inject = func(i int) {
+		if i >= 1000 {
+			return
+		}
+		p.Enqueue(&Packet{Kind: Data, Wire: 1500})
+		eng.Schedule(1200, func() { inject(i + 1) }) // matched to line rate
+	}
+	inject(0)
+	eng.RunAll()
+	if len(*got) != 1000 {
+		t.Fatalf("delivered %d/1000 at line rate", len(*got))
+	}
+	wantDur := sim.Time(1000 * 1200)
+	if eng.Now() < wantDur || eng.Now() > wantDur+2400 {
+		t.Fatalf("1000 packets took %d ns, want ~%d", eng.Now(), wantDur)
+	}
+}
+
+func TestDefaultECNK(t *testing.T) {
+	cases := []struct {
+		rate int64
+		want int
+	}{
+		{1_000_000_000, 30_000},
+		{10_000_000_000, 95_000},
+		{500_000_000, 15_000},
+		{0, 0},
+	}
+	for _, c := range cases {
+		if got := DefaultECNK(c.rate); got != c.want {
+			t.Errorf("DefaultECNK(%d) = %d, want %d", c.rate, got, c.want)
+		}
+	}
+	// Interpolation must be monotone between 1 and 10 Gbps.
+	prev := DefaultECNK(1_000_000_000)
+	for r := int64(2e9); r <= 10e9; r += 1e9 {
+		k := DefaultECNK(r)
+		if k < prev {
+			t.Fatalf("ECN threshold not monotone at %d bps", r)
+		}
+		prev = k
+	}
+}

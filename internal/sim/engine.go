@@ -1,0 +1,160 @@
+// Package sim provides a deterministic, single-threaded, event-driven
+// simulation engine used by the network model. Time is virtual and measured
+// in integer nanoseconds; all events scheduled for the same instant fire in
+// scheduling order, which makes runs with the same seed fully reproducible.
+package sim
+
+import "container/heap"
+
+// Time is a virtual timestamp in nanoseconds since the start of the run.
+type Time = int64
+
+// Common duration units, in nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1e3
+	Millisecond Time = 1e6
+	Second      Time = 1e9
+)
+
+// Event is a scheduled callback. The zero value is not usable; events are
+// created by Engine.Schedule or Engine.At. An Event may be cancelled before
+// it fires.
+type Event struct {
+	at       Time
+	seq      uint64 // tie-break: preserves scheduling order at equal times
+	index    int    // heap index, -1 once popped or cancelled
+	fn       func()
+	canceled bool
+}
+
+// At returns the virtual time the event is scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an event that already
+// fired or was already cancelled is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the event loop. It is not safe for concurrent use; the entire
+// simulation runs on one goroutine.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far, useful for
+// instrumentation and benchmarks.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of scheduled (possibly cancelled) events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn after delay nanoseconds of virtual time. A negative delay
+// is treated as zero. It returns a handle that can cancel the event.
+func (e *Engine) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute virtual time t. If t is in the past, the event fires
+// at the current time (but never before events already due).
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		t = e.now
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in timestamp order until the queue is empty, the
+// engine is stopped, or the next event is later than until. Events exactly
+// at until are executed. It returns the number of events fired by this call.
+func (e *Engine) Run(until Time) uint64 {
+	start := e.fired
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		next := e.events[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&e.events)
+		if next.canceled {
+			continue
+		}
+		e.now = next.at
+		e.fired++
+		next.fn()
+	}
+	if e.now < until && !e.stopped {
+		// Advance the clock to the horizon even if no event lands on it, so
+		// repeated Run calls observe monotonic time.
+		e.now = until
+	}
+	return e.fired - start
+}
+
+// RunAll executes events until the queue drains or the engine is stopped.
+func (e *Engine) RunAll() uint64 {
+	start := e.fired
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		next := heap.Pop(&e.events).(*Event)
+		if next.canceled {
+			continue
+		}
+		e.now = next.at
+		e.fired++
+		next.fn()
+	}
+	return e.fired - start
+}

@@ -1,0 +1,295 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(30, func() { got = append(got, 3) })
+	e.Schedule(10, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 2) })
+	e.RunAll()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.RunAll()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("events at equal time fired out of scheduling order: %v", got[:i+1])
+		}
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(-100, func() { fired = true })
+	e.RunAll()
+	if !fired {
+		t.Fatal("event with negative delay never fired")
+	}
+	if e.Now() != 0 {
+		t.Fatalf("clock moved backwards: %d", e.Now())
+	}
+}
+
+func TestAtInPastClamped(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(100, func() {
+		e.At(50, func() {
+			if e.Now() != 100 {
+				t.Fatalf("past event fired at %d, want 100", e.Now())
+			}
+		})
+	})
+	e.RunAll()
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(10, func() { fired = true })
+	ev.Cancel()
+	e.RunAll()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+}
+
+func TestCancelFromEarlierEvent(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(20, func() { fired = true })
+	e.Schedule(10, func() { ev.Cancel() })
+	e.RunAll()
+	if fired {
+		t.Fatal("event cancelled mid-run still fired")
+	}
+}
+
+func TestRunUntilBoundary(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, d := range []Time{5, 10, 15} {
+		d := d
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	e.Run(10)
+	if len(fired) != 2 {
+		t.Fatalf("Run(10) fired %v, want events at 5 and 10", fired)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now() = %d after Run(10)", e.Now())
+	}
+	e.Run(20)
+	if len(fired) != 3 {
+		t.Fatalf("second Run did not pick up the remaining event: %v", fired)
+	}
+}
+
+func TestRunAdvancesClockWithoutEvents(t *testing.T) {
+	e := NewEngine()
+	e.Run(1000)
+	if e.Now() != 1000 {
+		t.Fatalf("Now() = %d, want horizon 1000", e.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(Time(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.RunAll()
+	if count != 3 {
+		t.Fatalf("Stop did not halt the loop: %d events fired", count)
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("Pending() = %d, want 7", e.Pending())
+	}
+}
+
+func TestRecursiveScheduling(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var rec func()
+	rec = func() {
+		depth++
+		if depth < 100 {
+			e.Schedule(1, rec)
+		}
+	}
+	e.Schedule(0, rec)
+	n := e.RunAll()
+	if depth != 100 || n != 100 {
+		t.Fatalf("depth=%d fired=%d, want 100/100", depth, n)
+	}
+	if e.Now() != 99 {
+		t.Fatalf("Now() = %d, want 99", e.Now())
+	}
+}
+
+// Property: for any set of random delays, events fire in non-decreasing
+// timestamp order and the engine fires exactly len(delays) events.
+func TestPropertyTimestampMonotonic(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, d := range delays {
+			d := Time(d)
+			e.Schedule(d, func() { fired = append(fired, e.Now()) })
+		}
+		e.RunAll()
+		if len(fired) != len(delays) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaving Run calls at arbitrary horizons fires every event
+// exactly once, in order.
+func TestPropertyChunkedRunEquivalent(t *testing.T) {
+	f := func(delays []uint16, chunks []uint16) bool {
+		if len(chunks) == 0 {
+			chunks = []uint16{100}
+		}
+		e := NewEngine()
+		count := 0
+		var max Time
+		for _, d := range delays {
+			d := Time(d)
+			if d > max {
+				max = d
+			}
+			e.Schedule(d, func() { count++ })
+		}
+		for _, c := range chunks {
+			e.Run(e.Now() + Time(c))
+		}
+		e.Run(max + 1)
+		return count == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Intn(1000) != b.Intn(1000) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestTwoDistinct(t *testing.T) {
+	g := NewRNG(7)
+	for n := 2; n < 10; n++ {
+		for i := 0; i < 200; i++ {
+			a, b := g.TwoDistinct(n)
+			if a == b {
+				t.Fatalf("TwoDistinct(%d) returned equal values %d", n, a)
+			}
+			if a < 0 || a >= n || b < 0 || b >= n {
+				t.Fatalf("TwoDistinct(%d) out of range: %d %d", n, a, b)
+			}
+		}
+	}
+}
+
+func TestTwoDistinctUniform(t *testing.T) {
+	g := NewRNG(1)
+	counts := make([]int, 4)
+	const trials = 40000
+	for i := 0; i < trials; i++ {
+		a, b := g.TwoDistinct(4)
+		counts[a]++
+		counts[b]++
+	}
+	// Each index should appear in about half of all draws.
+	want := trials / 2
+	for i, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Fatalf("index %d drawn %d times, want ~%d", i, c, want)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	g := NewRNG(3)
+	const mean = 1e6
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += float64(g.Exp(mean))
+	}
+	got := sum / n
+	if got < 0.95*mean || got > 1.05*mean {
+		t.Fatalf("Exp mean = %.0f, want ~%.0f", got, mean)
+	}
+}
+
+func TestExpPositive(t *testing.T) {
+	g := NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		if v := g.Exp(0.001); v < 1 {
+			t.Fatalf("Exp returned %d < 1", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	g := NewRNG(5)
+	p := g.Perm(32)
+	seen := make([]bool, 32)
+	for _, v := range p {
+		if v < 0 || v >= 32 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	e := NewEngine()
+	r := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Time(r.Intn(1000)), func() {})
+		if e.Pending() > 10000 {
+			e.RunAll()
+		}
+	}
+	e.RunAll()
+}

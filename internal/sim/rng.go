@@ -1,0 +1,51 @@
+package sim
+
+import "math/rand"
+
+// RNG wraps math/rand with a deterministic seed and the handful of sampling
+// helpers the simulator needs. Every randomized component draws from one RNG
+// owned by the experiment so that a seed fully determines a run.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic generator for the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Intn returns a uniform int in [0, n). n must be positive.
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a uniform non-negative int64.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// Float64 returns a uniform float64 in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Exp returns an exponentially distributed duration with the given mean,
+// used for Poisson inter-arrival times. The result is at least 1 ns.
+func (g *RNG) Exp(mean float64) Time {
+	v := g.r.ExpFloat64() * mean
+	if v < 1 {
+		v = 1
+	}
+	return Time(v)
+}
+
+// TwoDistinct returns two distinct uniform indices in [0, n). It panics if
+// n < 2.
+func (g *RNG) TwoDistinct(n int) (int, int) {
+	if n < 2 {
+		panic("sim: TwoDistinct requires n >= 2")
+	}
+	a := g.r.Intn(n)
+	b := g.r.Intn(n - 1)
+	if b >= a {
+		b++
+	}
+	return a, b
+}
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }

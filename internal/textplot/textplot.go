@@ -1,0 +1,148 @@
+// Package textplot renders small ASCII charts so hermes-bench can show
+// figure-shaped output (grouped bars per load, one row per scheme) next to
+// the numeric tables it prints.
+package textplot
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Series is one labelled sequence of values (e.g. one scheme across loads).
+type Series struct {
+	Label  string
+	Values []float64
+}
+
+// Bars renders horizontal bars, one block per series value, scaled to the
+// global maximum. Labels column is sized to the longest label.
+//
+//	ecmp     load30% |#############              3.81
+//	hermes   load30% |#########                  2.51
+func Bars(w io.Writer, title string, cols []string, series []Series, width int) error {
+	if width <= 0 {
+		width = 40
+	}
+	var max float64
+	labelW := 0
+	for _, s := range series {
+		if len(s.Label) > labelW {
+			labelW = len(s.Label)
+		}
+		for _, v := range s.Values {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	colW := 0
+	for _, c := range cols {
+		if len(c) > colW {
+			colW = len(c)
+		}
+	}
+	if title != "" {
+		if _, err := fmt.Fprintln(w, title); err != nil {
+			return err
+		}
+	}
+	if max <= 0 {
+		_, err := fmt.Fprintln(w, "(no data)")
+		return err
+	}
+	for _, s := range series {
+		for i, v := range s.Values {
+			col := ""
+			if i < len(cols) {
+				col = cols[i]
+			}
+			n := int(v / max * float64(width))
+			if n < 1 && v > 0 {
+				n = 1
+			}
+			if _, err := fmt.Fprintf(w, "%-*s %-*s |%-*s %8.3f\n",
+				labelW, s.Label, colW, col, width, strings.Repeat("#", n), v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Line renders a single series as a fixed-height ASCII line chart with the
+// y-range annotated — enough to see a queue-occupancy or throughput shape.
+func Line(w io.Writer, title string, xs []float64, height int) error {
+	if height <= 0 {
+		height = 8
+	}
+	if len(xs) == 0 {
+		_, err := fmt.Fprintln(w, "(no data)")
+		return err
+	}
+	min, max := xs[0], xs[0]
+	for _, v := range xs {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if title != "" {
+		if _, err := fmt.Fprintln(w, title); err != nil {
+			return err
+		}
+	}
+	span := max - min
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", len(xs)))
+	}
+	for i, v := range xs {
+		row := 0
+		if span > 0 {
+			row = int((v - min) / span * float64(height-1))
+		}
+		grid[height-1-row][i] = '*'
+	}
+	for r, rowBytes := range grid {
+		edge := " "
+		switch r {
+		case 0:
+			edge = fmt.Sprintf("%10.2f |", max)
+		case height - 1:
+			edge = fmt.Sprintf("%10.2f |", min)
+		default:
+			edge = strings.Repeat(" ", 11) + "|"
+		}
+		if _, err := fmt.Fprintf(w, "%s%s\n", edge, rowBytes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Downsample reduces xs to at most n points by bucket-averaging, so long
+// time series fit a terminal width.
+func Downsample(xs []float64, n int) []float64 {
+	if len(xs) <= n || n <= 0 {
+		return xs
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo, hi := i*len(xs)/n, (i+1)*len(xs)/n
+		if hi == lo {
+			hi = lo + 1
+		}
+		var sum float64
+		for _, v := range xs[lo:hi] {
+			sum += v
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out
+}

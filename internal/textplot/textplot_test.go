@@ -1,0 +1,87 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBars(t *testing.T) {
+	var sb strings.Builder
+	err := Bars(&sb, "title", []string{"30%", "50%"}, []Series{
+		{Label: "ecmp", Values: []float64{2, 4}},
+		{Label: "hermes", Values: []float64{1, 2}},
+	}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "title") {
+		t.Fatal("title missing")
+	}
+	if strings.Count(out, "ecmp") != 2 || strings.Count(out, "hermes") != 2 {
+		t.Fatalf("rows missing:\n%s", out)
+	}
+	// The maximum (4) fills the width; half of it gets half the blocks.
+	lines := strings.Split(out, "\n")
+	var maxLine, halfLine string
+	for _, l := range lines {
+		if strings.Contains(l, "4.000") {
+			maxLine = l
+		}
+		if strings.Contains(l, "2.000") && strings.Contains(l, "ecmp") {
+			halfLine = l
+		}
+	}
+	if strings.Count(maxLine, "#") != 20 {
+		t.Fatalf("max bar has %d blocks, want 20: %q", strings.Count(maxLine, "#"), maxLine)
+	}
+	if strings.Count(halfLine, "#") != 10 {
+		t.Fatalf("half bar has %d blocks, want 10: %q", strings.Count(halfLine, "#"), halfLine)
+	}
+}
+
+func TestBarsEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := Bars(&sb, "", nil, []Series{{Label: "x", Values: []float64{0}}}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no data") {
+		t.Fatal("zero data not handled")
+	}
+}
+
+func TestLine(t *testing.T) {
+	var sb strings.Builder
+	xs := []float64{0, 1, 2, 3, 4, 5, 4, 3, 2, 1}
+	if err := Line(&sb, "queue", xs, 5); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Count(out, "*") != len(xs) {
+		t.Fatalf("want %d points, got %d:\n%s", len(xs), strings.Count(out, "*"), out)
+	}
+	if !strings.Contains(out, "5.00") || !strings.Contains(out, "0.00") {
+		t.Fatalf("y-range annotations missing:\n%s", out)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	ds := Downsample(xs, 10)
+	if len(ds) != 10 {
+		t.Fatalf("len = %d", len(ds))
+	}
+	// Bucket means ascend.
+	for i := 1; i < len(ds); i++ {
+		if ds[i] <= ds[i-1] {
+			t.Fatal("downsample not order-preserving for a ramp")
+		}
+	}
+	// Short inputs pass through.
+	if got := Downsample(xs[:5], 10); len(got) != 5 {
+		t.Fatal("short input modified")
+	}
+}

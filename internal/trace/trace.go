@@ -1,0 +1,214 @@
+// Package trace records per-flow load balancing timelines — placements,
+// path changes, retransmissions, timeouts and completions — by decorating
+// any transport.Balancer. Traces explain *why* a scheme produced its FCTs:
+// e.g. counting how often CONGA's flowlets actually moved, or which paths a
+// Hermes flow visited before a blackhole verdict.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/hermes-repro/hermes/internal/sim"
+	"github.com/hermes-repro/hermes/internal/transport"
+)
+
+// Kind labels a trace event.
+type Kind string
+
+// Event kinds.
+const (
+	FlowStart  Kind = "start"
+	Placement  Kind = "place" // first path assignment
+	PathChange Kind = "move"  // subsequent path changes
+	Retransmit Kind = "retx"  // fast retransmit
+	Timeout    Kind = "rto"   // retransmission timeout
+	FlowDone   Kind = "done"
+)
+
+// Event is one timeline entry.
+type Event struct {
+	At   sim.Time `json:"at_ns"`
+	Flow uint64   `json:"flow"`
+	Kind Kind     `json:"kind"`
+	Path int      `json:"path"`
+	// Size carries the flow size on start/done events.
+	Size int64 `json:"size,omitempty"`
+}
+
+// Recorder accumulates events. The zero value is ready to use. It is not
+// safe for concurrent use; the simulator is single-threaded.
+type Recorder struct {
+	Events []Event
+
+	// MaxEvents bounds memory; once reached, recording stops silently
+	// (0 = unlimited).
+	MaxEvents int
+}
+
+func (r *Recorder) add(e Event) {
+	if r.MaxEvents > 0 && len(r.Events) >= r.MaxEvents {
+		return
+	}
+	r.Events = append(r.Events, e)
+}
+
+// For returns the events of one flow, in order.
+func (r *Recorder) For(flow uint64) []Event {
+	var out []Event
+	for _, e := range r.Events {
+		if e.Flow == flow {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Count returns the number of events of a kind.
+func (r *Recorder) Count(k Kind) int {
+	n := 0
+	for _, e := range r.Events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteJSONL emits one JSON object per line.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range r.Events {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	return nil
+}
+
+// PathVisits returns the distinct paths a flow used, in first-visit order.
+func (r *Recorder) PathVisits(flow uint64) []int {
+	var out []int
+	seen := map[int]bool{}
+	for _, e := range r.Events {
+		if e.Flow != flow || (e.Kind != Placement && e.Kind != PathChange) {
+			continue
+		}
+		if !seen[e.Path] {
+			seen[e.Path] = true
+			out = append(out, e.Path)
+		}
+	}
+	return out
+}
+
+// Wrap decorates a balancer so that every decision and transport signal is
+// recorded. eng supplies timestamps.
+func Wrap(inner transport.Balancer, rec *Recorder, eng *sim.Engine) transport.Balancer {
+	return &tracer{inner: inner, rec: rec, eng: eng, lastPath: map[uint64]int{}}
+}
+
+type tracer struct {
+	inner    transport.Balancer
+	rec      *Recorder
+	eng      *sim.Engine
+	lastPath map[uint64]int
+}
+
+func (t *tracer) Name() string { return t.inner.Name() }
+
+func (t *tracer) SelectPath(f *transport.Flow) int {
+	p := t.inner.SelectPath(f)
+	last, seen := t.lastPath[f.ID]
+	if !seen {
+		t.rec.add(Event{At: t.eng.Now(), Flow: f.ID, Kind: Placement, Path: p})
+		t.lastPath[f.ID] = p
+	} else if p != last {
+		t.rec.add(Event{At: t.eng.Now(), Flow: f.ID, Kind: PathChange, Path: p})
+		t.lastPath[f.ID] = p
+	}
+	return p
+}
+
+func (t *tracer) OnSent(f *transport.Flow, path, bytes int) { t.inner.OnSent(f, path, bytes) }
+func (t *tracer) OnAck(f *transport.Flow, ev transport.AckEvent) {
+	t.inner.OnAck(f, ev)
+}
+func (t *tracer) OnRetransmit(f *transport.Flow, path int) {
+	t.rec.add(Event{At: t.eng.Now(), Flow: f.ID, Kind: Retransmit, Path: path})
+	t.inner.OnRetransmit(f, path)
+}
+func (t *tracer) OnTimeout(f *transport.Flow, path int) {
+	t.rec.add(Event{At: t.eng.Now(), Flow: f.ID, Kind: Timeout, Path: path})
+	t.inner.OnTimeout(f, path)
+}
+func (t *tracer) OnFlowStart(f *transport.Flow) {
+	t.rec.add(Event{At: t.eng.Now(), Flow: f.ID, Kind: FlowStart, Size: f.Size})
+	t.inner.OnFlowStart(f)
+}
+func (t *tracer) OnFlowDone(f *transport.Flow) {
+	t.rec.add(Event{At: t.eng.Now(), Flow: f.ID, Kind: FlowDone, Size: f.Size})
+	delete(t.lastPath, f.ID)
+	t.inner.OnFlowDone(f)
+}
+
+// Summary aggregates a recorder's events into per-scheme behavioural
+// statistics: how often flows moved, how long they lived, how failures
+// clustered. This is the quantitative companion to eyeballing JSONL.
+type Summary struct {
+	Flows       int
+	Completed   int
+	Placements  int
+	PathChanges int
+	Retransmits int
+	Timeouts    int
+
+	// MovesPerFlow is the mean number of path changes per completed flow.
+	MovesPerFlow float64
+	// MeanLifetime is the mean start-to-done duration of completed flows.
+	MeanLifetime sim.Time
+	// MaxMovesFlow identifies the most-rerouted flow and its move count.
+	MaxMovesFlow  uint64
+	MaxMovesCount int
+}
+
+// Summarize computes the Summary for everything recorded.
+func (r *Recorder) Summarize() Summary {
+	var s Summary
+	starts := map[uint64]sim.Time{}
+	moves := map[uint64]int{}
+	var lifetimes sim.Time
+	for _, e := range r.Events {
+		switch e.Kind {
+		case FlowStart:
+			s.Flows++
+			starts[e.Flow] = e.At
+		case Placement:
+			s.Placements++
+		case PathChange:
+			s.PathChanges++
+			moves[e.Flow]++
+		case Retransmit:
+			s.Retransmits++
+		case Timeout:
+			s.Timeouts++
+		case FlowDone:
+			s.Completed++
+			if st, ok := starts[e.Flow]; ok {
+				lifetimes += e.At - st
+			}
+		}
+	}
+	if s.Completed > 0 {
+		s.MovesPerFlow = float64(s.PathChanges) / float64(s.Completed)
+		s.MeanLifetime = lifetimes / sim.Time(s.Completed)
+	}
+	for f, m := range moves {
+		if m > s.MaxMovesCount || (m == s.MaxMovesCount && f < s.MaxMovesFlow) {
+			s.MaxMovesCount = m
+			s.MaxMovesFlow = f
+		}
+	}
+	return s
+}

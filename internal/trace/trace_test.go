@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hermes-repro/hermes/internal/lb"
+	"github.com/hermes-repro/hermes/internal/net"
+	"github.com/hermes-repro/hermes/internal/sim"
+	"github.com/hermes-repro/hermes/internal/transport"
+)
+
+func tracedStack(t *testing.T) (*sim.Engine, *net.Network, *transport.Transport, *Recorder) {
+	t.Helper()
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(1)
+	nw, err := net.NewLeafSpine(eng, rng, net.Config{
+		Leaves: 2, Spines: 2, HostsPerLeaf: 2,
+		HostRateBps: 10e9, FabricRateBps: 10e9,
+		HostDelay: 1000, FabricDelay: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &Recorder{}
+	tr := transport.New(nw, transport.DefaultOptions(), func(h *net.Host) transport.Balancer {
+		return Wrap(&lb.ECMP{Net: nw}, rec, eng)
+	})
+	return eng, nw, tr, rec
+}
+
+func TestTraceLifecycle(t *testing.T) {
+	eng, _, tr, rec := tracedStack(t)
+	f := tr.StartFlow(0, 2, 500_000)
+	eng.Run(sim.Second)
+	if !f.Done {
+		t.Fatal("flow unfinished")
+	}
+	events := rec.For(f.ID)
+	if len(events) < 3 {
+		t.Fatalf("only %d events traced", len(events))
+	}
+	if events[0].Kind != FlowStart || events[0].Size != 500_000 {
+		t.Fatalf("first event = %+v, want start", events[0])
+	}
+	if events[1].Kind != Placement {
+		t.Fatalf("second event = %+v, want placement", events[1])
+	}
+	if events[len(events)-1].Kind != FlowDone {
+		t.Fatalf("last event = %+v, want done", events[len(events)-1])
+	}
+	// Timestamps are monotone.
+	for i := 1; i < len(events); i++ {
+		if events[i].At < events[i-1].At {
+			t.Fatal("trace timestamps not monotone")
+		}
+	}
+	// ECMP never moves: exactly one placement, zero moves.
+	if rec.Count(PathChange) != 0 {
+		t.Fatal("ECMP flow changed paths")
+	}
+	if got := rec.PathVisits(f.ID); len(got) != 1 {
+		t.Fatalf("path visits = %v, want exactly one", got)
+	}
+}
+
+func TestTraceRecordsTimeoutsAndRetransmits(t *testing.T) {
+	eng, nw, tr, rec := tracedStack(t)
+	nw.Spines[0].DropFn = func(p *net.Packet) bool {
+		return eng.Now() < 30*sim.Millisecond && p.Kind == net.Data
+	}
+	nw.Spines[1].DropFn = nw.Spines[0].DropFn
+	f := tr.StartFlow(0, 2, 200_000)
+	eng.Run(sim.Second)
+	if !f.Done {
+		t.Fatal("flow unfinished")
+	}
+	if rec.Count(Timeout) == 0 {
+		t.Fatal("no RTO events traced despite a 30 ms blackout")
+	}
+}
+
+func TestTraceJSONL(t *testing.T) {
+	eng, _, tr, rec := tracedStack(t)
+	tr.StartFlow(0, 2, 10_000)
+	eng.Run(sim.Second)
+	var sb strings.Builder
+	if err := rec.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != len(rec.Events) {
+		t.Fatalf("%d JSONL lines for %d events", len(lines), len(rec.Events))
+	}
+	if !strings.Contains(lines[0], `"kind":"start"`) {
+		t.Fatalf("unexpected first line: %s", lines[0])
+	}
+}
+
+func TestTraceMaxEvents(t *testing.T) {
+	eng, _, tr, rec := tracedStack(t)
+	rec.MaxEvents = 2
+	tr.StartFlow(0, 2, 1_000_000)
+	eng.Run(sim.Second)
+	if len(rec.Events) != 2 {
+		t.Fatalf("recorded %d events with MaxEvents=2", len(rec.Events))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	rec := &Recorder{}
+	rec.add(Event{At: 0, Flow: 1, Kind: FlowStart, Size: 100})
+	rec.add(Event{At: 1, Flow: 1, Kind: Placement, Path: 0})
+	rec.add(Event{At: 2, Flow: 1, Kind: PathChange, Path: 1})
+	rec.add(Event{At: 3, Flow: 1, Kind: PathChange, Path: 0})
+	rec.add(Event{At: 4, Flow: 1, Kind: Retransmit, Path: 0})
+	rec.add(Event{At: 10, Flow: 1, Kind: FlowDone, Size: 100})
+	rec.add(Event{At: 5, Flow: 2, Kind: FlowStart, Size: 50})
+	rec.add(Event{At: 6, Flow: 2, Kind: Placement, Path: 2})
+	rec.add(Event{At: 7, Flow: 2, Kind: Timeout, Path: 2})
+	s := rec.Summarize()
+	if s.Flows != 2 || s.Completed != 1 {
+		t.Fatalf("flows/completed = %d/%d", s.Flows, s.Completed)
+	}
+	if s.PathChanges != 2 || s.MovesPerFlow != 2 {
+		t.Fatalf("moves = %d (%.1f/flow)", s.PathChanges, s.MovesPerFlow)
+	}
+	if s.Retransmits != 1 || s.Timeouts != 1 {
+		t.Fatal("loss counters wrong")
+	}
+	if s.MeanLifetime != 10 {
+		t.Fatalf("mean lifetime = %d", s.MeanLifetime)
+	}
+	if s.MaxMovesFlow != 1 || s.MaxMovesCount != 2 {
+		t.Fatalf("max-moves = flow %d (%d)", s.MaxMovesFlow, s.MaxMovesCount)
+	}
+}
+
+func TestSummarizeEndToEnd(t *testing.T) {
+	eng, _, tr, rec := tracedStack(t)
+	for i := 0; i < 10; i++ {
+		tr.StartFlow(0, 2, 50_000)
+	}
+	eng.Run(sim.Second)
+	s := rec.Summarize()
+	if s.Flows != 10 || s.Completed != 10 {
+		t.Fatalf("flows/completed = %d/%d", s.Flows, s.Completed)
+	}
+	if s.MeanLifetime <= 0 {
+		t.Fatal("mean lifetime not computed")
+	}
+	// ECMP: exactly one placement per flow, zero moves.
+	if s.Placements != 10 || s.PathChanges != 0 {
+		t.Fatalf("placements/moves = %d/%d", s.Placements, s.PathChanges)
+	}
+}

@@ -1,0 +1,75 @@
+// Package transport implements DCTCP (and plain NewReno) endpoints on the
+// simulated fabric, with explicit per-packet path control. Load balancers
+// plug in through the Balancer interface: the sender consults SelectPath for
+// every outgoing data segment (packet granularity, the minimum switchable
+// unit Hermes argues for) and feeds back per-ACK congestion signals, fast
+// retransmits and timeouts — exactly the transport-level signals §3.1 of the
+// paper senses.
+package transport
+
+import "github.com/hermes-repro/hermes/internal/sim"
+
+// AckEvent carries the per-ACK signals exposed to balancers. Each delivered
+// data packet is echoed with its send timestamp, path and CE bit
+// (TCP-timestamp style), so every ACK yields one exact per-path RTT and ECN
+// sample — the measurement machinery Hermes builds on.
+type AckEvent struct {
+	// Path is the path the echoed data packet traversed.
+	Path int
+	// RTT is the measured round-trip for the echoed packet, or 0 when the
+	// sample is invalid (the echoed segment was a retransmission; Karn's
+	// rule).
+	RTT sim.Time
+	// ECE reports whether the echoed data packet was ECN-marked.
+	ECE bool
+	// NewlyAcked is the number of bytes this ACK newly acknowledged
+	// (0 for duplicate ACKs).
+	NewlyAcked int64
+	// Dup marks a duplicate ACK.
+	Dup bool
+}
+
+// Balancer is the host-side load balancing plug-in. Implementations that
+// delegate to in-switch schemes simply return net.PathAny from SelectPath.
+// All methods run on the simulation goroutine.
+type Balancer interface {
+	// Name identifies the scheme in results.
+	Name() string
+	// SelectPath returns the path (spine index) for the next data segment
+	// of f, or net.PathAny to let the source leaf switch decide.
+	SelectPath(f *Flow) int
+	// OnSent runs after a data segment of f is handed to the NIC.
+	OnSent(f *Flow, path int, bytes int)
+	// OnAck runs for every ACK received for f.
+	OnAck(f *Flow, ev AckEvent)
+	// OnRetransmit runs when a fast retransmit fires; path is the best
+	// guess of where the loss happened.
+	OnRetransmit(f *Flow, path int)
+	// OnTimeout runs when f's retransmission timer fires on the given path.
+	OnTimeout(f *Flow, path int)
+	// OnFlowStart and OnFlowDone bracket the flow's lifetime.
+	OnFlowStart(f *Flow)
+	OnFlowDone(f *Flow)
+}
+
+// BaseBalancer provides no-op callbacks so implementations only override
+// what they need.
+type BaseBalancer struct{}
+
+// OnSent implements Balancer.
+func (BaseBalancer) OnSent(*Flow, int, int) {}
+
+// OnAck implements Balancer.
+func (BaseBalancer) OnAck(*Flow, AckEvent) {}
+
+// OnRetransmit implements Balancer.
+func (BaseBalancer) OnRetransmit(*Flow, int) {}
+
+// OnTimeout implements Balancer.
+func (BaseBalancer) OnTimeout(*Flow, int) {}
+
+// OnFlowStart implements Balancer.
+func (BaseBalancer) OnFlowStart(*Flow) {}
+
+// OnFlowDone implements Balancer.
+func (BaseBalancer) OnFlowDone(*Flow) {}

@@ -1,0 +1,151 @@
+package transport
+
+// Validation against DCTCP's published steady-state behaviour (Alizadeh et
+// al., SIGCOMM 2010): these tests check the *transport physics* the whole
+// evaluation rests on, not just code paths.
+
+import (
+	"testing"
+
+	"github.com/hermes-repro/hermes/internal/net"
+	"github.com/hermes-repro/hermes/internal/sim"
+)
+
+// A long-lived DCTCP flow holds the bottleneck queue near the marking
+// threshold K — well above zero (utilization) and well below the drop-tail
+// limit (low latency), the headline DCTCP property.
+func TestDCTCPQueueHoversNearThreshold(t *testing.T) {
+	eng := sim.NewEngine()
+	nw, err := net.NewLeafSpine(eng, sim.NewRNG(1), net.Config{
+		Leaves: 2, Spines: 1, HostsPerLeaf: 2,
+		HostRateBps: 10e9, FabricRateBps: 10e9,
+		HostDelay: 1000, FabricDelay: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bal := &fixedPathBalancer{}
+	tr := New(nw, DefaultOptions(), func(h *net.Host) Balancer { return bal })
+	// Two senders behind one leaf: the shared leaf uplink (2x10G offered
+	// onto 10G) is the bottleneck whose queue DCTCP regulates.
+	tr.StartFlow(0, 2, 1<<40) // effectively infinite
+	tr.StartFlow(1, 3, 1<<40)
+	bottleneck := nw.Leaves[0].Uplink(0)
+
+	// Skip slow start, then sample the queue.
+	eng.Run(20 * sim.Millisecond)
+	var sum float64
+	samples := 0
+	max := 0
+	for i := 0; i < 400; i++ {
+		eng.Run(eng.Now() + 50*sim.Microsecond)
+		q := bottleneck.QueuedBytes()
+		sum += float64(q)
+		samples++
+		if q > max {
+			max = q
+		}
+	}
+	mean := sum / float64(samples)
+	k := float64(net.DefaultECNK(10e9)) // 95 KB
+	if mean < 0.2*k || mean > 2.5*k {
+		t.Fatalf("steady-state queue mean %.0f B, want within [0.2K, 2.5K] of K=%.0f", mean, k)
+	}
+	if max >= net.DefaultQueueCap(10e9) {
+		t.Fatalf("queue hit the drop-tail limit (%d B); DCTCP should keep it near K", max)
+	}
+	if bottleneck.Drops != 0 {
+		t.Fatalf("%d drops in steady state; DCTCP should not overflow deep buffers", bottleneck.Drops)
+	}
+}
+
+// Link utilization stays high (> 90%) while the queue stays small — the
+// "high throughput AND low latency" combination.
+func TestDCTCPFullUtilizationUnderMarking(t *testing.T) {
+	eng := sim.NewEngine()
+	nw, _ := net.NewLeafSpine(eng, sim.NewRNG(1), net.Config{
+		Leaves: 2, Spines: 1, HostsPerLeaf: 2,
+		HostRateBps: 10e9, FabricRateBps: 10e9,
+		HostDelay: 1000, FabricDelay: 1000,
+	})
+	bal := &fixedPathBalancer{}
+	tr := New(nw, DefaultOptions(), func(h *net.Host) Balancer { return bal })
+	tr.StartFlow(0, 2, 1<<40)
+	tr.StartFlow(1, 3, 1<<40)
+	bottleneck := nw.Leaves[0].Uplink(0) // 2x10G offered onto 10G
+	eng.Run(20 * sim.Millisecond)
+	before := bottleneck.TxBytes
+	eng.Run(eng.Now() + 50*sim.Millisecond)
+	gbps := float64(bottleneck.TxBytes-before) * 8 / 0.050 / 1e9
+	if gbps < 9 {
+		t.Fatalf("bottleneck carried %.2f Gbps, want > 9 (full utilization)", gbps)
+	}
+	if bottleneck.ECNMarks == 0 {
+		t.Fatal("no marking despite persistent congestion")
+	}
+}
+
+// The alpha estimator converges to a small fraction for a single flow at a
+// deep-buffered bottleneck (DCTCP's alpha ~ sqrt(2/BDP-in-packets) regime),
+// and to a much larger value when the path is persistently overloaded by an
+// unresponsive competitor.
+func TestDCTCPAlphaRegimes(t *testing.T) {
+	// Regime 1: one DCTCP flow alone — small alpha.
+	eng := sim.NewEngine()
+	nw, _ := net.NewLeafSpine(eng, sim.NewRNG(1), net.Config{
+		Leaves: 2, Spines: 1, HostsPerLeaf: 2,
+		HostRateBps: 10e9, FabricRateBps: 10e9,
+		HostDelay: 1000, FabricDelay: 1000,
+	})
+	bal := &fixedPathBalancer{}
+	tr := New(nw, DefaultOptions(), func(h *net.Host) Balancer { return bal })
+	f := tr.StartFlow(0, 2, 1<<40)
+	eng.Run(100 * sim.Millisecond)
+	alone := f.Alpha()
+	if alone <= 0 || alone > 0.5 {
+		t.Fatalf("solo alpha = %.3f, want small but non-zero", alone)
+	}
+
+	// Regime 2: a 9.5 Gbps UDP blast shares the bottleneck — alpha rises.
+	eng2 := sim.NewEngine()
+	nw2, _ := net.NewLeafSpine(eng2, sim.NewRNG(1), net.Config{
+		Leaves: 2, Spines: 1, HostsPerLeaf: 2,
+		HostRateBps: 10e9, FabricRateBps: 10e9,
+		HostDelay: 1000, FabricDelay: 1000,
+	})
+	bal2 := &fixedPathBalancer{}
+	tr2 := New(nw2, DefaultOptions(), func(h *net.Host) Balancer { return bal2 })
+	udp := &UDPSender{Eng: eng2, Host: nw2.Hosts[1], Dst: 2, RateBps: 9_500_000_000, Paths: []int{0}}
+	udp.Start()
+	f2 := tr2.StartFlow(0, 2, 1<<40)
+	eng2.Run(100 * sim.Millisecond)
+	crowded := f2.Alpha()
+	if crowded < 2*alone {
+		t.Fatalf("alpha under persistent overload (%.3f) not clearly above solo (%.3f)", crowded, alone)
+	}
+}
+
+// Convergence: a second flow joining an occupied bottleneck approaches its
+// fair share within tens of milliseconds.
+func TestDCTCPConvergenceToFairShare(t *testing.T) {
+	eng := sim.NewEngine()
+	nw, _ := net.NewLeafSpine(eng, sim.NewRNG(1), net.Config{
+		Leaves: 2, Spines: 1, HostsPerLeaf: 2,
+		HostRateBps: 10e9, FabricRateBps: 10e9,
+		HostDelay: 1000, FabricDelay: 1000,
+	})
+	bal := &fixedPathBalancer{}
+	tr := New(nw, DefaultOptions(), func(h *net.Host) Balancer { return bal })
+	f1 := tr.StartFlow(0, 2, 1<<40)
+	eng.Run(30 * sim.Millisecond) // f1 owns the link
+	f2 := tr.StartFlow(1, 2, 1<<40)
+	eng.Run(eng.Now() + 60*sim.Millisecond)
+	// Compare goodput over the last 20 ms via acked-byte deltas.
+	a1, a2 := f1.AckedBytes(), f2.AckedBytes()
+	eng.Run(eng.Now() + 20*sim.Millisecond)
+	r1 := float64(f1.AckedBytes() - a1)
+	r2 := float64(f2.AckedBytes() - a2)
+	if r2 < 0.4*r1 {
+		t.Fatalf("late flow got %.1f%% of the incumbent's rate; convergence too slow", 100*r2/r1)
+	}
+}

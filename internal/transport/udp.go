@@ -1,0 +1,81 @@
+package transport
+
+import (
+	"github.com/hermes-repro/hermes/internal/net"
+	"github.com/hermes-repro/hermes/internal/sim"
+)
+
+// UDPSender emits constant-bit-rate unreliable traffic, used by the
+// congestion-mismatch micro-benchmarks (§2.2.2, flow B of Example 2). It
+// cycles over the configured paths (a single-element slice pins one path).
+type UDPSender struct {
+	Eng     *sim.Engine
+	Host    *net.Host
+	Dst     int
+	RateBps int64
+	Paths   []int // paths to cycle over; nil means net.PathAny
+	Payload int   // payload bytes per packet; defaults to net.MSS
+
+	FlowID uint64
+	Sent   uint64 // packets emitted
+
+	idx     int
+	running bool
+	stopped bool
+}
+
+// Start begins emission. Calling Start twice is a no-op.
+func (u *UDPSender) Start() {
+	if u.running {
+		return
+	}
+	if u.Payload <= 0 {
+		u.Payload = net.MSS
+	}
+	u.running = true
+	u.sendNext()
+}
+
+// Stop halts emission after the current interval.
+func (u *UDPSender) Stop() { u.stopped = true }
+
+func (u *UDPSender) sendNext() {
+	if u.stopped {
+		u.running = false
+		return
+	}
+	path := net.PathAny
+	if len(u.Paths) > 0 {
+		path = u.Paths[u.idx%len(u.Paths)]
+		u.idx++
+	}
+	wire := u.Payload + net.HeaderBytes
+	u.Host.Send(&net.Packet{
+		Kind:    net.UDPData,
+		Flow:    u.FlowID,
+		Src:     u.Host.ID,
+		Dst:     u.Dst,
+		Seq:     int64(u.Sent) * int64(u.Payload),
+		Payload: u.Payload,
+		Wire:    wire,
+		Path:    path,
+		SentAt:  u.Eng.Now(),
+	})
+	u.Sent++
+	interval := sim.Time(int64(wire) * 8 * sim.Second / u.RateBps)
+	u.Eng.Schedule(interval, u.sendNext)
+}
+
+// UDPSink counts received UDP bytes at a host, for throughput measurements.
+type UDPSink struct {
+	Bytes uint64
+	Pkts  uint64
+}
+
+// Attach registers the sink on the host.
+func (s *UDPSink) Attach(h *net.Host) {
+	h.Handle(net.UDPData, func(p *net.Packet) {
+		s.Bytes += uint64(p.Payload)
+		s.Pkts++
+	})
+}

@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"github.com/hermes-repro/hermes/internal/net"
+	"github.com/hermes-repro/hermes/internal/sim"
+	"github.com/hermes-repro/hermes/internal/transport"
+)
+
+// Incast generates partition/aggregate microbursts: every Interval, FanIn
+// random servers under other racks simultaneously send ChunkBytes to one
+// random aggregator host. This is the §6 "burst avoidance" discussion made
+// testable — Hermes needs at least one RTT to sense and react, so schemes
+// with per-packet local decisions (DRILL) handle the burst itself better,
+// while Hermes avoids placing the burst on already-bad paths.
+type Incast struct {
+	Net *net.Network
+	Tr  *transport.Transport
+	Rng *sim.RNG
+
+	// FanIn is the number of simultaneous senders per incast event.
+	FanIn int
+	// ChunkBytes is the response size each sender transmits.
+	ChunkBytes int64
+	// Interval separates consecutive incast events.
+	Interval sim.Time
+	// Events bounds how many incasts to generate.
+	Events int
+
+	// OnDone, if set, is called with the completion time of each incast
+	// (the time until the slowest chunk finished).
+	OnDone func(event int, dur sim.Time)
+
+	started int
+}
+
+// Start schedules the first incast event.
+func (ic *Incast) Start() {
+	if ic.FanIn <= 0 {
+		ic.FanIn = 8
+	}
+	if ic.ChunkBytes <= 0 {
+		ic.ChunkBytes = 64_000
+	}
+	if ic.Interval <= 0 {
+		ic.Interval = 10 * sim.Millisecond
+	}
+	ic.Net.Eng.Schedule(0, ic.fire)
+}
+
+// Started returns the number of events generated so far.
+func (ic *Incast) Started() int { return ic.started }
+
+func (ic *Incast) fire() {
+	if ic.started >= ic.Events {
+		return
+	}
+	event := ic.started
+	ic.started++
+
+	hosts := len(ic.Net.Hosts)
+	agg := ic.Rng.Intn(hosts)
+	aggLeaf := ic.Net.LeafOf(agg)
+	start := ic.Net.Eng.Now()
+
+	remaining := ic.FanIn
+	done := 0
+	for remaining > 0 {
+		src := ic.Rng.Intn(hosts)
+		if ic.Net.LeafOf(src) == aggLeaf {
+			continue // paper-style inter-rack traffic only
+		}
+		remaining--
+		f := ic.Tr.StartFlow(src, agg, ic.ChunkBytes)
+		_ = f
+		done++
+	}
+	// Completion detection: poll until all chunks of this event finished.
+	// The transport's OnFlowDone is owned by the experiment harness, so the
+	// incast generator watches its own flows.
+	flows := ic.collectRecent(done)
+	var watch func()
+	watch = func() {
+		for _, f := range flows {
+			if !f.Done {
+				ic.Net.Eng.Schedule(100*sim.Microsecond, watch)
+				return
+			}
+		}
+		if ic.OnDone != nil {
+			var end sim.Time
+			for _, f := range flows {
+				if f.EndAt > end {
+					end = f.EndAt
+				}
+			}
+			ic.OnDone(event, end-start)
+		}
+	}
+	watch()
+
+	if ic.started < ic.Events {
+		ic.Net.Eng.Schedule(ic.Interval, ic.fire)
+	}
+}
+
+// collectRecent grabs the n most recently started flows (the chunks just
+// created above) from the transport's active set.
+func (ic *Incast) collectRecent(n int) []*transport.Flow {
+	flows := make([]*transport.Flow, 0, n)
+	var maxID uint64
+	for id := range ic.Tr.ActiveFlows() {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	for id := maxID; id > 0 && len(flows) < n; id-- {
+		if f, ok := ic.Tr.ActiveFlows()[id]; ok {
+			flows = append(flows, f)
+		}
+	}
+	return flows
+}

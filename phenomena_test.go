@@ -1,0 +1,153 @@
+package hermes
+
+// Phenomenon regression tests: each §2.2.2 motivating observation of the
+// paper is pinned as an executable assertion, so simulator changes that
+// would break the reproduced dynamics fail loudly.
+
+import (
+	"testing"
+
+	"github.com/hermes-repro/hermes/internal/lb"
+	"github.com/hermes-repro/hermes/internal/net"
+	"github.com/hermes-repro/hermes/internal/sim"
+	"github.com/hermes-repro/hermes/internal/transport"
+)
+
+// Example 2 (Fig 2): a DCTCP flow sprayed equally over an asymmetric fabric
+// with a 9 Gbps UDP flow on the only shared path collapses far below the
+// ~11 Gbps of available capacity.
+func TestPhenomenonCongestionMismatchUnderAsymmetry(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(1)
+	nw, err := net.NewLeafSpine(eng, rng, net.Config{
+		Leaves: 3, Spines: 2, HostsPerLeaf: 2,
+		HostRateBps: 10e9, FabricRateBps: 10e9,
+		HostDelay: 2000, FabricDelay: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.SetFabricLink(0, 1, 0)
+	tr := transport.New(nw, transport.DefaultOptions(), func(h *net.Host) transport.Balancer {
+		return &lb.Spray{Net: nw, SchemeName: "Presto*"}
+	})
+	udp := &transport.UDPSender{Eng: eng, Host: nw.Hosts[0], Dst: 4, RateBps: 9e9, Paths: []int{0}}
+	udp.Start()
+	f := tr.StartFlow(2, 5, 50_000_000)
+	eng.Run(2 * sim.Second)
+	if !f.Done {
+		t.Fatal("flow unfinished")
+	}
+	gbps := float64(f.Size) * 8 / float64(f.FCT())
+	// The paper observes ~1 Gbps; anything under 4 demonstrates the
+	// phenomenon (one idle 10G path is available throughout).
+	if gbps > 4 {
+		t.Fatalf("sprayed flow reached %.1f Gbps; congestion mismatch did not manifest", gbps)
+	}
+}
+
+// Example 3 (Fig 3): capacity-proportional spraying over heterogeneous
+// paths still loses throughput to the shared congestion window.
+func TestPhenomenonMismatchWithCapacityWeights(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(1)
+	nw, err := net.NewLeafSpine(eng, rng, net.Config{
+		Leaves: 2, Spines: 2, HostsPerLeaf: 2,
+		HostRateBps: 11e9, FabricRateBps: 10e9,
+		HostDelay: 2000, FabricDelay: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.SetFabricLink(0, 1, 1e9)
+	nw.SetFabricLink(1, 1, 1e9)
+	tr := transport.New(nw, transport.DefaultOptions(), func(h *net.Host) transport.Balancer {
+		return &lb.Spray{Net: nw, SchemeName: "Presto*", WeightByCapacity: true}
+	})
+	f := tr.StartFlow(0, 2, 50_000_000)
+	eng.Run(2 * sim.Second)
+	if !f.Done {
+		t.Fatal("flow unfinished")
+	}
+	gbps := float64(f.Size) * 8 / float64(f.FCT())
+	// 11 Gbps is available; the paper measures ~5. Assert well below 8.
+	if gbps > 8 {
+		t.Fatalf("weighted spray reached %.1f Gbps; mismatch did not manifest", gbps)
+	}
+}
+
+// Example 4 (Fig 4): a flow with pauses exceeding the flowlet timeout
+// flip-flops between spines under CONGA's aged state.
+func TestPhenomenonCongaHiddenTerminalFlipFlop(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(1)
+	nw, err := net.NewLeafSpine(eng, rng, net.Config{
+		Leaves: 3, Spines: 2, HostsPerLeaf: 2,
+		HostRateBps: 10e9, FabricRateBps: 10e9,
+		HostDelay: 2000, FabricDelay: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb.InstallConga(nw, rng, lb.DefaultCongaParams())
+	tr := transport.New(nw, transport.DefaultOptions(), func(h *net.Host) transport.Balancer {
+		return &lb.PassThrough{Scheme: "CONGA"}
+	})
+	tr.StartFlow(2, 4, 1_000_000_000) // steady flow B
+
+	up0, up1 := nw.Leaves[0].Uplink(0), nw.Leaves[0].Uplink(1)
+	var paths []int
+	flips := 0
+	bursts := 0
+	var burst func()
+	burst = func() {
+		b0, b1 := up0.TxBytes, up1.TxBytes
+		tr.StartFlow(0, 5, 8_000_000)
+		eng.Schedule(12*sim.Millisecond, func() {
+			p := 0
+			if up1.TxBytes-b1 > up0.TxBytes-b0 {
+				p = 1
+			}
+			if n := len(paths); n > 0 && paths[n-1] != p {
+				flips++
+			}
+			paths = append(paths, p)
+		})
+		bursts++
+		if bursts < 12 {
+			eng.Schedule(13*sim.Millisecond, burst)
+		}
+	}
+	burst()
+	eng.Run(200 * sim.Millisecond)
+	if flips < 4 {
+		t.Fatalf("only %d flips in %v; the stale-state flip-flop did not reproduce", flips, paths)
+	}
+}
+
+// Example 1 (Fig 1): after the small flows drain, flowlet-based CONGA
+// cannot move either colliding large flow to the idle path; Hermes (and
+// ideal rerouting) finish the large flows faster.
+func TestPhenomenonFlowletPassivity(t *testing.T) {
+	run := func(scheme Scheme) float64 {
+		// 2x2 fabric: arrival order places smalls and larges; measure the
+		// large bucket's mean FCT.
+		res := mustRun(t, Config{
+			Topology: Topology{
+				Leaves: 2, Spines: 2, HostsPerLeaf: 4,
+				HostRateBps: 10e9, FabricRateBps: 10e9,
+				HostDelayNs: 2000, FabricDelayNs: 2000,
+			},
+			Scheme: scheme, Workload: "data-mining",
+			Load: 0.7, Flows: 150, Seed: 21,
+		})
+		return res.FCT.Large.MeanMs()
+	}
+	conga := run(SchemeCONGA)
+	hermesMs := run(SchemeHermes)
+	// On the steady data-mining workload Hermes' timely rerouting must not
+	// lose to flowlet passivity by any meaningful margin.
+	if hermesMs > conga*1.3 {
+		t.Fatalf("Hermes large flows %.2f ms vs CONGA %.2f ms; timely rerouting regressed", hermesMs, conga)
+	}
+}

@@ -1,0 +1,114 @@
+package hermes
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"github.com/hermes-repro/hermes/internal/core"
+	"github.com/hermes-repro/hermes/internal/net"
+	"github.com/hermes-repro/hermes/internal/sim"
+)
+
+// DeriveHermesParams computes the Table 4 recommended Hermes settings for a
+// topology, exactly as Run does internally (§3.3: thresholds derived from
+// the fabric's base RTT and one-hop delay). Use it as the starting point for
+// overrides via Config.HermesParams.
+func DeriveHermesParams(topo Topology) (core.Params, error) {
+	eng := sim.NewEngine()
+	nw, err := net.NewLeafSpine(eng, sim.NewRNG(0), topo.toNet())
+	if err != nil {
+		return core.Params{}, err
+	}
+	return core.DefaultParams(nw), nil
+}
+
+// SeedStats aggregates one metric across seeds.
+type SeedStats struct {
+	N        int
+	Mean     float64
+	StdDev   float64
+	Min, Max float64
+}
+
+// RunSeeds executes the same experiment under each seed and returns the
+// per-seed results plus aggregate statistics of the overall mean FCT (in
+// milliseconds). Use it to separate scheme effects from arrival-pattern
+// noise; the paper averages five runs (§5.1). Runs execute in parallel —
+// each simulation is single-threaded and fully isolated, so results are
+// identical to sequential execution.
+func RunSeeds(cfg Config, seeds []int64) ([]*Result, SeedStats, error) {
+	if len(seeds) == 0 {
+		return nil, SeedStats{}, fmt.Errorf("hermes: RunSeeds needs at least one seed")
+	}
+	results, err := RunParallel(cfg, seeds)
+	if err != nil {
+		return nil, SeedStats{}, err
+	}
+	var sum, sumSq float64
+	st := SeedStats{N: len(seeds), Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, res := range results {
+		m := res.FCT.Overall.MeanMs()
+		sum += m
+		sumSq += m * m
+		if m < st.Min {
+			st.Min = m
+		}
+		if m > st.Max {
+			st.Max = m
+		}
+	}
+	st.Mean = sum / float64(len(seeds))
+	variance := sumSq/float64(len(seeds)) - st.Mean*st.Mean
+	if variance > 0 {
+		st.StdDev = math.Sqrt(variance)
+	}
+	return results, st, nil
+}
+
+// RunParallel executes one experiment per seed concurrently, bounded by
+// GOMAXPROCS workers. Each run owns its engine and RNG, so the results are
+// bit-identical to running them one at a time.
+func RunParallel(cfg Config, seeds []int64) ([]*Result, error) {
+	if cfg.TraceWriter != nil {
+		return nil, fmt.Errorf("hermes: RunParallel cannot share one TraceWriter across runs; trace runs individually")
+	}
+	results := make([]*Result, len(seeds))
+	errs := make([]error, len(seeds))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, s := range seeds {
+		i, s := i, s
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			c := cfg
+			c.Seed = s
+			res, err := Run(c)
+			if err != nil {
+				errs[i] = fmt.Errorf("seed %d: %w", s, err)
+				return
+			}
+			results[i] = res
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// Seeds returns [base, base+1, ..., base+n-1], a convenience for RunSeeds.
+func Seeds(base int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = base + int64(i)
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package hermes
+
+import (
+	"fmt"
+
+	"github.com/hermes-repro/hermes/internal/core"
+	"github.com/hermes-repro/hermes/internal/lb"
+	"github.com/hermes-repro/hermes/internal/net"
+	"github.com/hermes-repro/hermes/internal/sim"
+	"github.com/hermes-repro/hermes/internal/transport"
+)
+
+// wiring bundles the scheme-specific assembly steps of Run.
+type wiring struct {
+	balancerFor    func(h *net.Host) transport.Balancer
+	afterTransport func(nw *net.Network, rng *sim.RNG)
+	fillTelemetry  func(res *Result, eng *sim.Engine)
+}
+
+func noAfter(*net.Network, *sim.RNG)   {}
+func noTelemetry(*Result, *sim.Engine) {}
+
+func buildScheme(nw *net.Network, rng *sim.RNG, cfg Config) (*wiring, error) {
+	flowlet := sim.Time(cfg.FlowletTimeoutNs)
+	if flowlet <= 0 {
+		flowlet = 150 * sim.Microsecond
+	}
+	w := &wiring{afterTransport: noAfter, fillTelemetry: noTelemetry}
+
+	switch cfg.Scheme {
+	case SchemeECMP:
+		e := &lb.ECMP{Net: nw}
+		w.balancerFor = func(*net.Host) transport.Balancer { return e }
+
+	case SchemeWCMP:
+		e := &lb.WCMP{Net: nw}
+		w.balancerFor = func(*net.Host) transport.Balancer { return e }
+
+	case SchemePresto:
+		w.balancerFor = func(*net.Host) transport.Balancer {
+			return &lb.Spray{Net: nw, SchemeName: "Presto*", WeightByCapacity: true}
+		}
+
+	case SchemeDRB:
+		w.balancerFor = func(*net.Host) transport.Balancer {
+			return &lb.Spray{Net: nw, SchemeName: "DRB"}
+		}
+
+	case SchemeCLOVE:
+		params := lb.DefaultCloveParams()
+		params.FlowletTimeout = flowlet
+		w.balancerFor = func(*net.Host) transport.Balancer {
+			return &lb.Clove{Net: nw, Rng: rng, Params: params}
+		}
+
+	case SchemeFlowBender:
+		w.balancerFor = func(*net.Host) transport.Balancer {
+			return lb.DefaultFlowBender(nw)
+		}
+
+	case SchemeLetFlow:
+		for l := range nw.Leaves {
+			lb.NewLetFlow(nw, l, rng, flowlet)
+		}
+		w.balancerFor = passThrough("LetFlow")
+
+	case SchemeDRILL:
+		for l := range nw.Leaves {
+			lb.NewDRILL(nw, l, rng)
+		}
+		w.balancerFor = passThrough("DRILL")
+
+	case SchemeEdgeFlowlet:
+		w.balancerFor = func(*net.Host) transport.Balancer {
+			return &lb.EdgeFlowlet{Net: nw, Rng: rng, Timeout: flowlet}
+		}
+
+	case SchemeHULA:
+		p := lb.DefaultHulaParams()
+		p.FlowletTimeout = flowlet
+		lb.InstallHula(nw, rng, p)
+		w.balancerFor = passThrough("HULA")
+
+	case SchemeCONGA:
+		p := lb.DefaultCongaParams()
+		p.FlowletTimeout = flowlet
+		lb.InstallConga(nw, rng, p)
+		w.balancerFor = passThrough("CONGA")
+
+	case SchemeMPTCP:
+		// MPTCP subflows are hashed like ECMP flows and never rerouted; the
+		// multipath behaviour lives in the transport (StartMPTCP).
+		e := &lb.ECMP{Net: nw}
+		w.balancerFor = func(*net.Host) transport.Balancer { return e }
+
+	case SchemeHermes:
+		return buildHermes(nw, rng, cfg)
+
+	default:
+		return nil, fmt.Errorf("hermes: unknown scheme %q", cfg.Scheme)
+	}
+	return w, nil
+}
+
+func passThrough(name string) func(*net.Host) transport.Balancer {
+	return func(*net.Host) transport.Balancer { return &lb.PassThrough{Scheme: name} }
+}
+
+func buildHermes(nw *net.Network, rng *sim.RNG, cfg Config) (*wiring, error) {
+	var params core.Params
+	if cfg.HermesParams != nil {
+		params = *cfg.HermesParams
+	} else {
+		params = core.DefaultParams(nw)
+		if cfg.Protocol == "reno" || cfg.Protocol == "timely" {
+			// §5.4: without DCTCP marking Hermes senses by RTT only and
+			// relaxes the RTT thresholds by 1.5x (burstier, larger RTTs).
+			params.UseECN = false
+			params.TRTTHigh += params.TRTTHigh / 2
+			params.DeltaRTT += params.DeltaRTT / 2
+		}
+	}
+
+	monitors := make([]*core.Monitor, nw.Cfg.Leaves)
+	for l := range monitors {
+		monitors[l] = core.NewMonitor(nw, l, params)
+	}
+	instances := map[int]*core.Hermes{}
+
+	w := &wiring{}
+	w.balancerFor = func(h *net.Host) transport.Balancer {
+		inst := core.New(monitors[h.Leaf], rng, h.ID)
+		instances[h.ID] = inst
+		return inst
+	}
+
+	var probers []*core.Prober
+	w.afterTransport = func(nw *net.Network, rng *sim.RNG) {
+		if params.ProbeInterval <= 0 {
+			return
+		}
+		core.InstallProbeResponders(nw)
+		// One probe agent per rack: the first host under each leaf.
+		agents := make([]*net.Host, nw.Cfg.Leaves)
+		for l := range agents {
+			agents[l] = nw.Hosts[l*nw.Cfg.HostsPerLeaf]
+		}
+		for l := range agents {
+			probers = append(probers, core.NewProber(monitors[l], rng, agents))
+		}
+	}
+
+	w.fillTelemetry = func(res *Result, eng *sim.Engine) {
+		for _, inst := range instances {
+			res.Reroutes += inst.Reroutes
+			res.TimeoutReroutes += inst.TimeoutReroutes
+			res.FailureReroutes += inst.FailureReroutes
+		}
+		for _, p := range probers {
+			res.ProbesSent += p.ProbesSent
+			res.ProbeBytes += p.ProbeBytes
+		}
+		if res.SimDuration > 0 && nw.Cfg.HostRateBps > 0 && len(probers) > 0 {
+			// Overhead of one agent's probe traffic over its access link.
+			perAgent := float64(res.ProbeBytes) / float64(len(probers))
+			bps := perAgent * 8 * float64(sim.Second) / float64(res.SimDuration)
+			res.ProbeOverhead = bps / float64(nw.Cfg.HostRateBps)
+		}
+	}
+	return w, nil
+}

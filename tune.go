@@ -1,0 +1,152 @@
+package hermes
+
+import (
+	"fmt"
+
+	"github.com/hermes-repro/hermes/internal/core"
+	"github.com/hermes-repro/hermes/internal/sim"
+)
+
+// The paper leaves "(automatic) optimal parameter configuration as an
+// important future work" (§3.3, §6). TuneHermes implements it: greedy
+// coordinate descent over a small set of Hermes knobs, scoring each
+// candidate by the average FCT of a calibration workload across seeds.
+// Deterministic: the same inputs always return the same tuned parameters.
+
+// TuneDimension is one knob the tuner may adjust.
+type TuneDimension struct {
+	// Name labels the dimension in the trace.
+	Name string
+	// Values are the candidate settings, tried in order.
+	Values []float64
+	// Apply writes a candidate value into the parameter set.
+	Apply func(p *core.Params, v float64)
+}
+
+// DefaultTuneDimensions returns the Table 4 knobs with candidate grids
+// spanning the paper's recommended ranges, anchored at the derived defaults.
+func DefaultTuneDimensions(base core.Params) []TuneDimension {
+	hop := float64(base.DeltaRTT) // DeltaRTT defaults to one hop delay
+	return []TuneDimension{
+		{
+			Name:   "T_RTT_high",
+			Values: []float64{float64(base.TRTTHigh) - hop/2, float64(base.TRTTHigh), float64(base.TRTTHigh) + hop/2},
+			Apply:  func(p *core.Params, v float64) { p.TRTTHigh = sim.Time(v) },
+		},
+		{
+			Name:   "Delta_RTT",
+			Values: []float64{hop / 2, hop, hop * 3 / 2},
+			Apply:  func(p *core.Params, v float64) { p.DeltaRTT = sim.Time(v) },
+		},
+		{
+			Name:   "Delta_ECN",
+			Values: []float64{0.03, 0.05, 0.10},
+			Apply:  func(p *core.Params, v float64) { p.DeltaECN = v },
+		},
+		{
+			Name:   "S_bytes",
+			Values: []float64{100_000, 600_000, 800_000},
+			Apply:  func(p *core.Params, v float64) { p.SBytes = int64(v) },
+		},
+		{
+			Name:   "R_frac",
+			Values: []float64{0.2, 0.3, 0.4},
+			Apply: func(p *core.Params, v float64) {
+				// RBps is absolute; scale from the current 30% anchor.
+				p.RBps = p.RBps / 0.3 * v
+			},
+		},
+	}
+}
+
+// TuneStep records one candidate evaluation.
+type TuneStep struct {
+	Dimension string
+	Value     float64
+	ScoreMs   float64
+	Accepted  bool
+}
+
+// TuneResult is the tuner's outcome.
+type TuneResult struct {
+	Params  core.Params
+	ScoreMs float64
+	Trace   []TuneStep
+	Runs    int
+}
+
+// TuneHermes performs `passes` rounds of coordinate descent over dims,
+// evaluating each candidate with RunSeeds on cfg (whose Scheme is forced to
+// Hermes). cfg.Flows controls fidelity; small counts tune fast but noisily.
+func TuneHermes(cfg Config, dims []TuneDimension, seeds []int64, passes int) (*TuneResult, error) {
+	if passes <= 0 {
+		passes = 1
+	}
+	cfg.Scheme = SchemeHermes
+	base, err := DeriveHermesParams(cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.HermesParams != nil {
+		base = *cfg.HermesParams
+	}
+	if len(dims) == 0 {
+		dims = DefaultTuneDimensions(base)
+	}
+
+	res := &TuneResult{Params: base}
+	score := func(p core.Params) (float64, error) {
+		c := cfg
+		c.HermesParams = &p
+		_, st, err := RunSeeds(c, seeds)
+		if err != nil {
+			return 0, err
+		}
+		res.Runs += len(seeds)
+		return st.Mean, nil
+	}
+
+	best, err := score(base)
+	if err != nil {
+		return nil, err
+	}
+	res.ScoreMs = best
+
+	for pass := 0; pass < passes; pass++ {
+		for _, d := range dims {
+			for _, v := range d.Values {
+				cand := res.Params
+				d.Apply(&cand, v)
+				if cand == res.Params {
+					continue // candidate equals current setting
+				}
+				s, err := score(cand)
+				if err != nil {
+					return nil, err
+				}
+				accepted := s < res.ScoreMs
+				res.Trace = append(res.Trace, TuneStep{
+					Dimension: d.Name, Value: v, ScoreMs: s, Accepted: accepted,
+				})
+				if accepted {
+					res.Params = cand
+					res.ScoreMs = s
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// String renders the tuning trace compactly.
+func (r *TuneResult) String() string {
+	s := fmt.Sprintf("tuned score %.3f ms after %d runs\n", r.ScoreMs, r.Runs)
+	for _, st := range r.Trace {
+		mark := " "
+		if st.Accepted {
+			mark = "*"
+		}
+		s += fmt.Sprintf("  %s %-12s = %-12g -> %.3f ms\n", mark, st.Dimension, st.Value, st.ScoreMs)
+	}
+	return s
+}
