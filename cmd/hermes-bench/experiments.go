@@ -3,6 +3,8 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"sync"
 
 	hermes "github.com/hermes-repro/hermes"
@@ -25,12 +27,65 @@ func simTopo(o options) hermes.Topology {
 	}
 }
 
+// Telemetry capture: mustRun is the single chokepoint every experiment's
+// runs flow through, so enabling telemetry here covers the whole evaluation.
+// Sweeps run data points concurrently, hence the sequence-number mutex.
+var (
+	telemetryOn bool
+	reportDir   string
+	auditDir    string
+	artifactSeq int
+	artifactMu  sync.Mutex
+)
+
 func mustRun(cfg hermes.Config) *hermes.Result {
+	if telemetryOn {
+		cfg.Telemetry = true
+	}
 	res, err := hermes.Run(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
+	saveRunArtifacts(cfg, res)
 	return res
+}
+
+// saveRunArtifacts writes the per-run report and audit log when -report or
+// -audit named directories.
+func saveRunArtifacts(cfg hermes.Config, res *hermes.Result) {
+	if reportDir == "" && auditDir == "" {
+		return
+	}
+	artifactMu.Lock()
+	artifactSeq++
+	n := artifactSeq
+	exp := currentExp
+	artifactMu.Unlock()
+	base := fmt.Sprintf("%s_%03d_%s_load%03.0f", exp, n, cfg.Scheme, cfg.Load*100)
+	if reportDir != "" {
+		rep, err := hermes.BuildReport(cfg, res)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(filepath.Join(reportDir, base+".json"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+	}
+	if auditDir != "" {
+		f, err := os.Create(filepath.Join(auditDir, base+".jsonl"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := res.Telemetry.Audit.WriteJSONL(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+	}
 }
 
 func degrade() hermes.FailureSpec {

@@ -18,6 +18,8 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -112,6 +114,12 @@ func main() {
 		list   = flag.Bool("list", false, "list experiments and exit")
 		csvOut = flag.String("csv", "", "also write each table as CSV into this directory")
 		plot   = flag.Bool("plot", false, "render each table as ASCII bars too")
+
+		telem   = flag.Bool("telemetry", false, "run every experiment with telemetry enabled")
+		repDir  = flag.String("report", "", "write one telemetry report JSON per run into this directory (implies -telemetry)")
+		audDir  = flag.String("audit", "", "write one Hermes audit JSONL per run into this directory (implies -telemetry)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	plotTables = *plot
@@ -121,6 +129,19 @@ func main() {
 		}
 		csvDir = *csvOut
 	}
+	for _, d := range []struct {
+		flag string
+		dst  *string
+	}{{*repDir, &reportDir}, {*audDir, &auditDir}} {
+		if d.flag == "" {
+			continue
+		}
+		if err := os.MkdirAll(d.flag, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		*d.dst = d.flag
+	}
+	telemetryOn = *telem || reportDir != "" || auditDir != ""
 
 	sort.Slice(registry, func(i, j int) bool { return registry[i].name < registry[j].name })
 
@@ -134,6 +155,31 @@ func main() {
 		}
 		return
 	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memProf == "" {
+			return
+		}
+		f, err := os.Create(*memProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC() // materialize the final live set
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+	}()
 
 	o := options{flows: *flows, seed: *seed, full: *full}
 	if *exp == "all" {

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	hermes "github.com/hermes-repro/hermes"
 )
@@ -42,6 +43,10 @@ func main() {
 		visibility = flag.Bool("visibility", false, "measure Table 2 visibility")
 		jsonOut    = flag.Bool("json", false, "emit JSON instead of text")
 		traceFile  = flag.String("trace", "", "write per-flow JSONL trace to this file")
+		telem      = flag.Bool("telemetry", false, "enable the telemetry registry, sweeper and audit log")
+		reportFile = flag.String("report", "", "write the full run report here (.csv = CSV, else JSON; implies -telemetry)")
+		auditFile  = flag.String("audit", "", "write the Hermes decision audit log as JSONL (implies -telemetry)")
+		sweepUs    = flag.Int64("sweep-us", 0, "telemetry sweep interval in microseconds (0 = 1000)")
 		subflows   = flag.Int("mptcp-subflows", 4, "subflows per logical flow (mptcp scheme)")
 		configFile = flag.String("config", "", "load the full experiment Config from a JSON file (overrides other flags)")
 	)
@@ -96,6 +101,11 @@ func main() {
 	if traceW != nil {
 		cfg.TraceWriter = traceW
 	}
+	if *reportFile != "" || *auditFile != "" {
+		*telem = true
+	}
+	cfg.Telemetry = *telem
+	cfg.TelemetryIntervalNs = *sweepUs * 1000
 
 	if *configFile != "" {
 		data, err := os.ReadFile(*configFile)
@@ -107,6 +117,13 @@ func main() {
 			log.Fatalf("parse %s: %v", *configFile, err)
 		}
 		fileCfg.TraceWriter = cfg.TraceWriter
+		if *telem {
+			// -report/-audit/-telemetry stay in force over a config file.
+			fileCfg.Telemetry = true
+			if fileCfg.TelemetryIntervalNs == 0 {
+				fileCfg.TelemetryIntervalNs = cfg.TelemetryIntervalNs
+			}
+		}
 		cfg = fileCfg
 	}
 
@@ -116,6 +133,34 @@ func main() {
 	}
 	if res.TraceCounts != nil {
 		fmt.Fprintf(os.Stderr, "trace: %v written to %s\n", res.TraceCounts, *traceFile)
+	}
+
+	var report *hermes.Report
+	if cfg.Telemetry {
+		report, err = hermes.BuildReport(cfg, res)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *reportFile != "" {
+		if err := writeReport(report, *reportFile); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "report written to %s\n", *reportFile)
+	}
+	if *auditFile != "" {
+		f, err := os.Create(*auditFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := res.Telemetry.Audit.WriteJSONL(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "audit log (%d entries) written to %s\n",
+			res.Telemetry.Audit.Len(), *auditFile)
 	}
 
 	if *jsonOut {
@@ -159,4 +204,28 @@ func main() {
 		fmt.Printf("visibility: switch-pair=%.3f host-pair=%.5f\n",
 			res.VisibilitySwitchPair, res.VisibilityHostPair)
 	}
+	if report != nil {
+		fmt.Println()
+		if err := report.RenderText(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// writeReport serializes the report by extension: .csv gets the long-format
+// CSV, anything else indented JSON.
+func writeReport(rep *hermes.Report, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".csv") {
+		err = rep.WriteCSV(f)
+	} else {
+		err = rep.WriteJSON(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

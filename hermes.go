@@ -26,6 +26,7 @@ import (
 	"github.com/hermes-repro/hermes/internal/metrics"
 	"github.com/hermes-repro/hermes/internal/net"
 	"github.com/hermes-repro/hermes/internal/sim"
+	"github.com/hermes-repro/hermes/internal/telemetry"
 	"github.com/hermes-repro/hermes/internal/trace"
 	"github.com/hermes-repro/hermes/internal/transport"
 	"github.com/hermes-repro/hermes/internal/workload"
@@ -214,9 +215,20 @@ type Config struct {
 	// TraceWriter, when non-nil, receives a JSONL stream of per-flow load
 	// balancing events (placements, path changes, retransmits, timeouts)
 	// after the run completes.
-	TraceWriter io.Writer
+	TraceWriter io.Writer `json:"-"`
 	// TraceMaxEvents bounds trace memory (0 = 1e6 events).
 	TraceMaxEvents int
+
+	// Telemetry enables the run-wide metric registry, the periodic sweeper
+	// and the Hermes decision audit log (Result.Telemetry). Off by default;
+	// the instrumented hot paths then cost one nil check each.
+	Telemetry bool
+	// TelemetryIntervalNs is the sweep period in virtual nanoseconds
+	// (0 = 1 ms).
+	TelemetryIntervalNs int64
+	// AuditMaxEntries caps the decision audit log
+	// (0 = telemetry.DefaultAuditMaxEntries).
+	AuditMaxEntries int
 }
 
 // Result carries everything a run measured.
@@ -254,6 +266,11 @@ type Result struct {
 	// the intact bisection capacity.
 	GoodputGbps       float64
 	FabricUtilization float64
+
+	// Telemetry holds the live registry, sweeper and audit log when
+	// Config.Telemetry was set (nil otherwise). Use BuildReport to turn it
+	// into a serializable Report.
+	Telemetry *telemetry.RunData `json:"-"`
 }
 
 func (t Topology) toNet() net.Config {
@@ -313,6 +330,12 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	var rd *telemetry.RunData
+	if cfg.Telemetry {
+		rd = telemetry.NewRunData(eng, sim.Time(cfg.TelemetryIntervalNs), cfg.AuditMaxEntries)
+		nw.AttachTelemetry(rd.Registry)
+	}
+
 	opts := transport.DefaultOptions()
 	switch cfg.Protocol {
 	case "", "dctcp":
@@ -330,7 +353,7 @@ func Run(cfg Config) (*Result, error) {
 		opts.ReorderTimeout = 400 * sim.Microsecond
 	}
 
-	wiring, err := buildScheme(nw, rng, cfg)
+	wiring, err := buildScheme(nw, rng, cfg, rd)
 	if err != nil {
 		return nil, err
 	}
@@ -347,6 +370,9 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	tr := transport.New(nw, opts, wiring.balancerFor)
+	if rd != nil {
+		tr.AttachTelemetry(rd.Registry)
+	}
 	wiring.afterTransport(nw, rng)
 
 	// Switch-malfunction failures can be installed any time before traffic.
@@ -386,6 +412,9 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	gen.Start()
+	if rd != nil {
+		rd.Sweeper.Start()
+	}
 
 	var vis *metrics.VisibilitySampler
 	if cfg.MeasureVisibility {
@@ -456,6 +485,13 @@ func Run(cfg Config) (*Result, error) {
 		res.VisibilityHostPair = vis.HostPair()
 	}
 	wiring.fillTelemetry(res, eng)
+	if rd != nil {
+		// Stop sweeping and take one final snapshot so every counter's end
+		// state appears in the last series sample.
+		rd.Sweeper.Stop()
+		rd.Sweeper.Snap()
+		res.Telemetry = rd
+	}
 	if tracer != nil {
 		if err := tracer.WriteJSONL(cfg.TraceWriter); err != nil {
 			return nil, err
@@ -463,6 +499,9 @@ func Run(cfg Config) (*Result, error) {
 		res.TraceCounts = map[string]int{}
 		for _, e := range tracer.Events {
 			res.TraceCounts[string(e.Kind)]++
+		}
+		if tracer.Dropped > 0 {
+			res.TraceCounts["dropped"] = tracer.Dropped
 		}
 	}
 	return res, nil

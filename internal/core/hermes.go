@@ -3,6 +3,7 @@ package core
 import (
 	"github.com/hermes-repro/hermes/internal/net"
 	"github.com/hermes-repro/hermes/internal/sim"
+	"github.com/hermes-repro/hermes/internal/telemetry"
 	"github.com/hermes-repro/hermes/internal/transport"
 )
 
@@ -24,6 +25,16 @@ type Hermes struct {
 	Reroutes        uint64
 	TimeoutReroutes uint64
 	FailureReroutes uint64
+
+	// Audit, when non-nil, receives one entry per placement and reroute
+	// decision — the queryable record of Algorithm 2's verdicts.
+	Audit *telemetry.AuditLog
+	// cNoBetter counts congestion episodes where every alternative failed
+	// the "notably better" margins — the cautious design refusing a blind
+	// move (the congestion-mismatch detector). cCautionHeld counts decisions
+	// suppressed by the sent-bytes/rate/cooldown gates.
+	cNoBetter    *telemetry.Counter
+	cCautionHeld *telemetry.Counter
 }
 
 type pairKey struct {
@@ -47,6 +58,25 @@ func New(mon *Monitor, rng *sim.RNG, host int) *Hermes {
 
 // Name implements transport.Balancer.
 func (h *Hermes) Name() string { return "Hermes" }
+
+// AttachTelemetry wires the decision audit log and the caution counters.
+// Counters are get-or-create by name, so every instance under one registry
+// shares them. Safe to skip entirely: a nil registry and audit cost one nil
+// check per decision.
+func (h *Hermes) AttachTelemetry(reg *telemetry.Registry, audit *telemetry.AuditLog) {
+	h.Audit = audit
+	h.cNoBetter = reg.Counter("hermes.reroute.no_better_path")
+	h.cCautionHeld = reg.Counter("hermes.reroute.caution_held")
+}
+
+// audit records one decision entry (no-op when auditing is off).
+func (h *Hermes) audit(at sim.Time, kind telemetry.AuditKind, reason string, f *transport.Flow, from, to int) {
+	h.Audit.Add(telemetry.AuditEntry{
+		At: at, Kind: kind, Reason: reason,
+		Host: h.Host, Flow: f.ID, DstLeaf: f.DstLeaf,
+		FromPath: from, ToPath: to,
+	})
+}
 
 func (h *Hermes) pathFailed(f *transport.Flow, p int) bool {
 	if h.Mon.Type(f.DstLeaf, p) == Failed {
@@ -77,15 +107,19 @@ func (h *Hermes) SelectPath(f *transport.Flow) int {
 		// Lines 3-12: new flow, timeout, or failed path: place on the good
 		// path with the least local sending rate, falling back to gray,
 		// then to any non-failed path.
+		reason := telemetry.ReasonFresh
 		if f.Started() {
 			if f.TimedOut {
 				h.TimeoutReroutes++
+				reason = telemetry.ReasonTimeout
 			} else {
 				h.FailureReroutes++
+				reason = telemetry.ReasonFailure
 			}
 		}
 		f.TimedOut = false
 		p := h.placeFresh(f, paths, now)
+		h.audit(now, telemetry.AuditPlace, reason, f, cur, p)
 		return p
 	}
 
@@ -103,9 +137,11 @@ func (h *Hermes) SelectPath(f *transport.Flow) int {
 		return cur
 	}
 	if f.SentBytes() <= m.P.SBytes || f.RateBps(now) >= m.P.RBps {
+		h.cCautionHeld.Inc()
 		return cur // caution gates: too little sent, or already fast
 	}
 	if last, ok := h.lastReroute[f.ID]; ok && now-last < m.P.RerouteCooldown {
+		h.cCautionHeld.Inc()
 		return cur // signals from the previous move have not converged yet
 	}
 	curPS := m.State(f.DstLeaf, cur)
@@ -116,8 +152,12 @@ func (h *Hermes) SelectPath(f *transport.Flow) int {
 	if pick >= 0 && pick != cur {
 		h.Reroutes++
 		h.lastReroute[f.ID] = now
+		h.audit(now, telemetry.AuditReroute, telemetry.ReasonCongestion, f, cur, pick)
 		return pick
 	}
+	// The current path is congested but nothing clears the notably-better
+	// margins: moving would risk the congestion mismatch of §2.2, so stay.
+	h.cNoBetter.Inc()
 	return cur
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"github.com/hermes-repro/hermes/internal/net"
 	"github.com/hermes-repro/hermes/internal/sim"
+	"github.com/hermes-repro/hermes/internal/telemetry"
 )
 
 // PathState is the sensing state Hermes keeps per (destination leaf, path):
@@ -53,6 +54,10 @@ type Monitor struct {
 	// Telemetry.
 	Reroutes       uint64
 	FailMarkEvents uint64
+
+	// Audit, when non-nil, receives a verdict entry for every failed-path
+	// mark with the Algorithm 1 rule that fired as its reason.
+	Audit *telemetry.AuditLog
 }
 
 // NewMonitor builds the monitor for one source leaf.
@@ -94,7 +99,7 @@ func (m *Monitor) rollWindow() {
 				uncongested := sim.Time(ps.rtt) < m.P.TRTTHigh &&
 					(!m.P.UseECN || ps.ecn < m.P.TECN/2)
 				if frac > m.P.RetxFracThresh && uncongested {
-					m.markFailed(d, s, ps, false, now)
+					m.markFailed(d, s, ps, telemetry.ReasonSilentDrop, now)
 				}
 			}
 			ps.winPkts, ps.winRetx = 0, 0
@@ -102,19 +107,44 @@ func (m *Monitor) rollWindow() {
 	}
 }
 
-func (m *Monitor) markFailed(dstLeaf, path int, ps *PathState, blackhole bool, now sim.Time) {
-	// Both verdicts quarantine for FailedHold and then re-evaluate: a real
+func (m *Monitor) markFailed(dstLeaf, path int, ps *PathState, reason string, now sim.Time) {
+	// All verdicts quarantine for FailedHold and then re-evaluate: a real
 	// blackhole re-triggers within ~3 RTOs, a congestion false-positive
 	// recovers instead of cascading.
 	ps.failedUntil = now + m.P.FailedHold
 	m.FailMarkEvents++
-	_ = blackhole
-	_ = dstLeaf
-	_ = path
+	m.Audit.Add(telemetry.AuditEntry{
+		At: now, Kind: telemetry.AuditVerdict, Reason: reason,
+		Host: -1, DstLeaf: dstLeaf, FromPath: path, ToPath: -1,
+	})
 }
 
 // State returns the path state for direct inspection (tests, telemetry).
 func (m *Monitor) State(dstLeaf, path int) *PathState { return m.paths[dstLeaf][path] }
+
+// PathCensus classifies every (dstLeaf, path) pair this monitor tracks and
+// returns the counts per verdict — the sweeper samples this into the
+// good/gray/congested/failed time series.
+func (m *Monitor) PathCensus() (good, gray, congested, failed int) {
+	for d := range m.paths {
+		if d == m.SrcLeaf {
+			continue
+		}
+		for s := range m.paths[d] {
+			switch m.Type(d, s) {
+			case Good:
+				good++
+			case Gray:
+				gray++
+			case Congested:
+				congested++
+			case Failed:
+				failed++
+			}
+		}
+	}
+	return
+}
 
 // classifyCongestion applies the congestion half of Algorithm 1.
 func (m *Monitor) classifyCongestion(ps *PathState) PathType {
@@ -210,7 +240,7 @@ func (m *Monitor) OnTimeout(dstLeaf, path int) {
 	ps := m.paths[dstLeaf][path]
 	ps.consecTimeouts++
 	if ps.consecTimeouts > m.P.TimeoutsForBlackhole {
-		m.markFailed(dstLeaf, path, ps, true, m.Net.Eng.Now())
+		m.markFailed(dstLeaf, path, ps, telemetry.ReasonBlackhole, m.Net.Eng.Now())
 		ps.consecTimeouts = 0
 	}
 }
@@ -231,7 +261,7 @@ func (m *Monitor) OnProbeResult(dstLeaf, path int, lost, ece bool, rtt sim.Time)
 		// path drops everything — the probe-based analogue of the
 		// 3-timeouts blackhole rule (§3.1.2).
 		if ps.consecProbeLoss >= ProbeLossesForFailure {
-			m.markFailed(dstLeaf, path, ps, false, m.Net.Eng.Now())
+			m.markFailed(dstLeaf, path, ps, telemetry.ReasonProbeLoss, m.Net.Eng.Now())
 		}
 		return
 	}

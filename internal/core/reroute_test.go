@@ -5,6 +5,7 @@ import (
 
 	"github.com/hermes-repro/hermes/internal/net"
 	"github.com/hermes-repro/hermes/internal/sim"
+	"github.com/hermes-repro/hermes/internal/telemetry"
 	"github.com/hermes-repro/hermes/internal/transport"
 )
 
@@ -54,7 +55,7 @@ func TestFailedPathExcludedFromPlacement(t *testing.T) {
 	// Paths 0..2 failed at rack scope; 3 is good.
 	now := m.Net.Eng.Now()
 	for p := 0; p < 3; p++ {
-		m.markFailed(1, p, m.State(1, p), false, now)
+		m.markFailed(1, p, m.State(1, p), telemetry.ReasonSilentDrop, now)
 	}
 	feed(m, 1, 3, 50, false, m.P.TRTTLow-sim.Microsecond)
 	f := mkFlow(1, nw)
@@ -70,7 +71,7 @@ func TestAllPathsFailedStillPicksSomething(t *testing.T) {
 	_, nw, m, h := testHermes(t)
 	now := m.Net.Eng.Now()
 	for p := 0; p < 4; p++ {
-		m.markFailed(1, p, m.State(1, p), false, now)
+		m.markFailed(1, p, m.State(1, p), telemetry.ReasonSilentDrop, now)
 	}
 	f := mkFlow(1, nw)
 	got := h.SelectPath(f)
@@ -109,7 +110,7 @@ func TestCapacityWeightedFallback(t *testing.T) {
 func TestQuarantineExpires(t *testing.T) {
 	eng, _, m := testMonitor(t)
 	ps := m.State(1, 0)
-	m.markFailed(1, 0, ps, false, eng.Now())
+	m.markFailed(1, 0, ps, telemetry.ReasonSilentDrop, eng.Now())
 	if m.Type(1, 0) != Failed {
 		t.Fatal("not quarantined")
 	}

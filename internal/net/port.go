@@ -34,6 +34,12 @@ type Port struct {
 	TxPackets uint64
 	Drops     uint64
 	ECNMarks  uint64
+
+	// hiWater is the deepest data-queue occupancy seen, busyTime the total
+	// virtual time spent transmitting. Both are plain adds on the hot path
+	// so they stay on even when the telemetry registry is disabled.
+	hiWater  int
+	busyTime sim.Time
 }
 
 // PortConfig carries the physical parameters of a port.
@@ -136,6 +142,13 @@ func (p *Port) Down() bool { return p.rateBps <= 0 }
 // QueuedBytes returns the bytes waiting in the data queue (DRILL's signal).
 func (p *Port) QueuedBytes() int { return p.loBytes }
 
+// QueueHiWater returns the high-watermark of the data-queue depth in bytes.
+func (p *Port) QueueHiWater() int { return p.hiWater }
+
+// BusyTime returns the cumulative virtual time this port spent transmitting
+// (its utilization integral; divide by elapsed time for mean utilization).
+func (p *Port) BusyTime() sim.Time { return p.busyTime }
+
 // UtilQuantized returns the CONGA 3-bit utilization metric of this port.
 func (p *Port) UtilQuantized(now sim.Time) uint8 {
 	return p.dre.Quantize(now, p.rateBps, 8)
@@ -173,6 +186,9 @@ func (p *Port) Enqueue(pkt *Packet) {
 		}
 		p.lo.push(pkt)
 		p.loBytes += pkt.Wire
+		if p.loBytes > p.hiWater {
+			p.hiWater = p.loBytes
+		}
 		if p.ecnK > 0 && pkt.ECT && p.loBytes > p.ecnK {
 			pkt.CE = true
 			p.ECNMarks++
@@ -203,6 +219,7 @@ func (p *Port) transmitNext() {
 		p.OnTx(pkt)
 	}
 	txTime := sim.Time(int64(pkt.Wire) * 8 * sim.Second / p.rateBps)
+	p.busyTime += txTime
 	p.eng.Schedule(txTime, func() {
 		p.TxBytes += uint64(pkt.Wire)
 		p.TxPackets++

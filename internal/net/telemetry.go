@@ -1,0 +1,65 @@
+package net
+
+import "github.com/hermes-repro/hermes/internal/telemetry"
+
+// AttachTelemetry registers the fabric's observability surface on reg:
+// fabric-wide totals (tx bytes, drops, ECN marks, queue high-watermark) and
+// per-port gauges for every fabric port (leaf uplinks and spine downlinks)
+// covering queue depth, high-watermark, drops, ECN marks, tx bytes and busy
+// time. Host access ports contribute to the totals only, keeping the series
+// count proportional to the fabric rather than the host count.
+//
+// Everything is registered as pull-style GaugeFuncs over the ports' existing
+// counters, so the data-plane hot path is untouched: the cost is paid at
+// sweep time, and only when telemetry is enabled.
+func (n *Network) AttachTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	var fabricPorts, allPorts []*Port
+	for _, leaf := range n.Leaves {
+		fabricPorts = append(fabricPorts, leaf.up...)
+		allPorts = append(allPorts, leaf.up...)
+		allPorts = append(allPorts, leaf.down...)
+	}
+	for _, sp := range n.Spines {
+		fabricPorts = append(fabricPorts, sp.down...)
+		allPorts = append(allPorts, sp.down...)
+	}
+	for _, h := range n.Hosts {
+		allPorts = append(allPorts, h.uplink)
+	}
+
+	sum := func(pick func(*Port) float64) func() float64 {
+		return func() float64 {
+			var t float64
+			for _, p := range allPorts {
+				t += pick(p)
+			}
+			return t
+		}
+	}
+	reg.GaugeFunc("net.tx_bytes_total", sum(func(p *Port) float64 { return float64(p.TxBytes) }))
+	reg.GaugeFunc("net.tx_packets_total", sum(func(p *Port) float64 { return float64(p.TxPackets) }))
+	reg.GaugeFunc("net.drops_total", sum(func(p *Port) float64 { return float64(p.Drops) }))
+	reg.GaugeFunc("net.ecn_marks_total", sum(func(p *Port) float64 { return float64(p.ECNMarks) }))
+	reg.GaugeFunc("net.queue_hiwater_bytes_max", func() float64 {
+		var m float64
+		for _, p := range allPorts {
+			if v := float64(p.hiWater); v > m {
+				m = v
+			}
+		}
+		return m
+	})
+
+	for _, p := range fabricPorts {
+		p := p
+		reg.GaugeFunc("net.port.queue_bytes", func() float64 { return float64(p.loBytes) }, "port", p.Name)
+		reg.GaugeFunc("net.port.queue_hiwater_bytes", func() float64 { return float64(p.hiWater) }, "port", p.Name)
+		reg.GaugeFunc("net.port.drops", func() float64 { return float64(p.Drops) }, "port", p.Name)
+		reg.GaugeFunc("net.port.ecn_marks", func() float64 { return float64(p.ECNMarks) }, "port", p.Name)
+		reg.GaugeFunc("net.port.tx_bytes", func() float64 { return float64(p.TxBytes) }, "port", p.Name)
+		reg.GaugeFunc("net.port.busy_ns", func() float64 { return float64(p.busyTime) }, "port", p.Name)
+	}
+}

@@ -1,0 +1,181 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// AuditKind classifies a Hermes decision-log entry.
+type AuditKind string
+
+// Audit entry kinds.
+const (
+	// AuditPlace records an initial (or post-failure/timeout) placement.
+	AuditPlace AuditKind = "place"
+	// AuditReroute records a congestion-triggered cautious reroute.
+	AuditReroute AuditKind = "reroute"
+	// AuditVerdict records a path being marked failed by the monitor.
+	AuditVerdict AuditKind = "verdict"
+)
+
+// Audit reasons. Placement reasons say why a fresh path was needed; verdict
+// reasons say which Algorithm 1 rule condemned the path.
+const (
+	ReasonFresh      = "fresh"       // new flow, first placement
+	ReasonTimeout    = "timeout"     // RTO forced the flow off its path
+	ReasonFailure    = "failure"     // current path carries a failed verdict
+	ReasonCongestion = "congestion"  // cautious reroute off a congested path
+	ReasonBlackhole  = "blackhole"   // consecutive data timeouts, no delivery
+	ReasonSilentDrop = "silent-drop" // high retx fraction on uncongested path
+	ReasonProbeLoss  = "probe-loss"  // consecutive probe losses
+)
+
+// AuditEntry is one Hermes decision with its triggering reason. Timestamps
+// are simulation time only — wall clock never appears, so identical seeds
+// produce identical logs.
+type AuditEntry struct {
+	At      int64     `json:"at_ns"`
+	Kind    AuditKind `json:"kind"`
+	Reason  string    `json:"reason"`
+	Host    int       `json:"host"`
+	Flow    uint64    `json:"flow,omitempty"`
+	DstLeaf int       `json:"dst_leaf"`
+	// FromPath is the path being left (-1 when there was none) and ToPath
+	// the chosen one (-1 for verdicts, which condemn FromPath).
+	FromPath int `json:"from_path"`
+	ToPath   int `json:"to_path"`
+}
+
+// AuditLog accumulates decision entries up to MaxEntries; overflow is
+// counted, never silent. The zero value is unusable — construct with
+// NewAuditLog. A nil log swallows entries for free, which keeps the
+// instrumented decision points branch-cheap when auditing is off.
+type AuditLog struct {
+	max     int
+	entries []AuditEntry
+	dropped uint64
+}
+
+// DefaultAuditMaxEntries bounds the log when no explicit cap is given.
+const DefaultAuditMaxEntries = 100_000
+
+// NewAuditLog builds a log holding at most max entries (<=0 = default).
+func NewAuditLog(max int) *AuditLog {
+	if max <= 0 {
+		max = DefaultAuditMaxEntries
+	}
+	return &AuditLog{max: max}
+}
+
+// Add appends one entry, or counts it as dropped once the cap is reached.
+func (l *AuditLog) Add(e AuditEntry) {
+	if l == nil {
+		return
+	}
+	if len(l.entries) >= l.max {
+		l.dropped++
+		return
+	}
+	l.entries = append(l.entries, e)
+}
+
+// Entries returns the recorded entries (shared slice; read-only).
+func (l *AuditLog) Entries() []AuditEntry {
+	if l == nil {
+		return nil
+	}
+	return l.entries
+}
+
+// Len returns the number of recorded entries.
+func (l *AuditLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.entries)
+}
+
+// Dropped returns how many entries overflowed the cap.
+func (l *AuditLog) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.dropped
+}
+
+// Filter returns the entries matching pred, in order.
+func (l *AuditLog) Filter(pred func(AuditEntry) bool) []AuditEntry {
+	var out []AuditEntry
+	for _, e := range l.Entries() {
+		if pred(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// CountKind returns the number of entries of one kind.
+func (l *AuditLog) CountKind(k AuditKind) int {
+	n := 0
+	for _, e := range l.Entries() {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// CountReason returns the number of entries with one reason.
+func (l *AuditLog) CountReason(reason string) int {
+	n := 0
+	for _, e := range l.Entries() {
+		if e.Reason == reason {
+			n++
+		}
+	}
+	return n
+}
+
+// AuditSummary is the serializable aggregate of an audit log.
+type AuditSummary struct {
+	Entries  int            `json:"entries"`
+	Dropped  uint64         `json:"dropped"`
+	ByKind   map[string]int `json:"by_kind,omitempty"`
+	ByReason map[string]int `json:"by_reason,omitempty"`
+}
+
+// Summary aggregates the log by kind and reason.
+func (l *AuditLog) Summary() AuditSummary {
+	s := AuditSummary{Entries: l.Len(), Dropped: l.Dropped()}
+	if s.Entries == 0 {
+		return s
+	}
+	s.ByKind = map[string]int{}
+	s.ByReason = map[string]int{}
+	for _, e := range l.Entries() {
+		s.ByKind[string(e.Kind)]++
+		s.ByReason[e.Reason]++
+	}
+	return s
+}
+
+// WriteJSONL emits one JSON object per entry, then a trailing summary line
+// when entries were dropped, so truncation is visible in the export itself.
+func (l *AuditLog) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range l.Entries() {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("telemetry: audit: %w", err)
+		}
+	}
+	if d := l.Dropped(); d > 0 {
+		if err := enc.Encode(struct {
+			Kind    string `json:"kind"`
+			Dropped uint64 `json:"dropped"`
+		}{"truncated", d}); err != nil {
+			return fmt.Errorf("telemetry: audit: %w", err)
+		}
+	}
+	return nil
+}

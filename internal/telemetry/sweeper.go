@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"sort"
+
+	"github.com/hermes-repro/hermes/internal/sim"
+)
+
+// Sweeper periodically snapshots a Registry into per-metric time series on
+// the simulation clock. Metrics that appear after the first sweep are
+// zero-backfilled so every series has one value per sweep instant.
+type Sweeper struct {
+	Reg      *Registry
+	Eng      *sim.Engine
+	Interval sim.Time
+
+	times   []int64
+	series  map[string][]float64
+	stopped bool
+}
+
+// DefaultSweepInterval is used when no interval is configured.
+const DefaultSweepInterval = sim.Millisecond
+
+// Start schedules the first sweep one interval from now. A nil sweeper is a
+// no-op, so callers can Start/Stop unconditionally.
+func (s *Sweeper) Start() {
+	if s == nil || s.Reg == nil || s.Eng == nil {
+		return
+	}
+	if s.Interval <= 0 {
+		s.Interval = DefaultSweepInterval
+	}
+	if s.series == nil {
+		s.series = map[string][]float64{}
+	}
+	s.Eng.Schedule(s.Interval, s.tick)
+}
+
+// Stop ends sweeping after the current tick.
+func (s *Sweeper) Stop() {
+	if s != nil {
+		s.stopped = true
+	}
+}
+
+func (s *Sweeper) tick() {
+	if s.stopped {
+		return
+	}
+	s.Snap()
+	s.Eng.Schedule(s.Interval, s.tick)
+}
+
+// Snap takes one snapshot immediately (also used for a final sweep at run
+// end so counter totals always appear in the last sample).
+func (s *Sweeper) Snap() {
+	if s == nil || s.Reg == nil {
+		return
+	}
+	if s.series == nil {
+		s.series = map[string][]float64{}
+	}
+	n := len(s.times)
+	s.times = append(s.times, s.Eng.Now())
+	for k, v := range s.Reg.Values() {
+		col, ok := s.series[k]
+		if !ok && n > 0 {
+			col = make([]float64, n) // zero-backfill a late metric
+		}
+		s.series[k] = append(col, v)
+	}
+}
+
+// Times returns the sweep instants in nanoseconds of simulation time.
+func (s *Sweeper) Times() []int64 {
+	if s == nil {
+		return nil
+	}
+	return s.times
+}
+
+// Series returns the per-metric value columns, aligned with Times.
+func (s *Sweeper) Series() map[string][]float64 {
+	if s == nil {
+		return nil
+	}
+	return s.series
+}
+
+// SeriesNames returns the metric keys in sorted order (the deterministic
+// iteration order for exports).
+func (s *Sweeper) SeriesNames() []string {
+	if s == nil {
+		return nil
+	}
+	names := make([]string, 0, len(s.series))
+	for k := range s.series {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,196 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/hermes-repro/hermes/internal/sim"
+)
+
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x")
+	g := reg.Gauge("y")
+	h := reg.Histogram("z", []float64{1, 2})
+	reg.GaugeFunc("f", func() float64 { return 1 })
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(1)
+	h.Observe(1.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil instruments must be inert")
+	}
+	if reg.Values() != nil || reg.Histograms() != nil {
+		t.Fatal("nil registry must export nothing")
+	}
+
+	var log *AuditLog
+	log.Add(AuditEntry{Kind: AuditPlace})
+	if log.Len() != 0 || log.Dropped() != 0 {
+		t.Fatal("nil audit log must be inert")
+	}
+	var sw *Sweeper
+	sw.Start()
+	sw.Stop()
+	sw.Snap()
+	if sw.Times() != nil {
+		t.Fatal("nil sweeper must be inert")
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("hermes.reroutes")
+	b := reg.Counter("hermes.reroutes")
+	if a != b {
+		t.Fatal("same key must return the same counter")
+	}
+	a.Inc()
+	b.Inc()
+	if got := reg.Values()["hermes.reroutes"]; got != 2 {
+		t.Fatalf("shared counter = %v, want 2", got)
+	}
+	// Label order must not matter.
+	x := reg.Counter("net.port.drops", "port", "p0", "dir", "up")
+	y := reg.Counter("net.port.drops", "dir", "up", "port", "p0")
+	if x != y {
+		t.Fatal("label order must not change identity")
+	}
+	if k := Key("m", "b", "2", "a", "1"); k != "m{a=1,b=2}" {
+		t.Fatalf("Key = %q", k)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("cwnd", []float64{10, 100})
+	for _, v := range []float64{5, 50, 500, 7} {
+		h.Observe(v)
+	}
+	s := h.Stats()
+	if s.Count != 4 || s.Min != 5 || s.Max != 500 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Buckets[0].Count != 2 || s.Buckets[1].Count != 1 || s.Inf != 1 {
+		t.Fatalf("buckets = %+v inf=%d", s.Buckets, s.Inf)
+	}
+	if got := h.Mean(); got != (5+50+500+7)/4.0 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestSweeperSeries(t *testing.T) {
+	eng := sim.NewEngine()
+	reg := NewRegistry()
+	c := reg.Counter("events")
+	sw := &Sweeper{Reg: reg, Eng: eng, Interval: sim.Millisecond}
+	sw.Start()
+	eng.Schedule(500*sim.Microsecond, func() { c.Add(3) })
+	eng.Schedule(1500*sim.Microsecond, func() { c.Add(4) })
+	eng.Run(3500 * sim.Microsecond)
+	sw.Stop()
+	times := sw.Times()
+	if len(times) != 3 {
+		t.Fatalf("sweeps = %d, want 3", len(times))
+	}
+	got := sw.Series()["events"]
+	want := []float64{3, 7, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("series = %v, want %v", got, want)
+		}
+	}
+	// A metric registered after the first sweep gets zero-backfilled.
+	late := reg.Counter("late")
+	late.Inc()
+	sw.Snap()
+	ls := sw.Series()["late"]
+	if len(ls) != 4 || ls[0] != 0 || ls[3] != 1 {
+		t.Fatalf("late series = %v", ls)
+	}
+}
+
+func TestAuditLogCapAndSummary(t *testing.T) {
+	log := NewAuditLog(2)
+	log.Add(AuditEntry{At: 1, Kind: AuditPlace, Reason: ReasonFresh})
+	log.Add(AuditEntry{At: 2, Kind: AuditReroute, Reason: ReasonCongestion})
+	log.Add(AuditEntry{At: 3, Kind: AuditVerdict, Reason: ReasonBlackhole})
+	if log.Len() != 2 || log.Dropped() != 1 {
+		t.Fatalf("len=%d dropped=%d", log.Len(), log.Dropped())
+	}
+	if log.CountKind(AuditPlace) != 1 || log.CountReason(ReasonCongestion) != 1 {
+		t.Fatal("count queries wrong")
+	}
+	got := log.Filter(func(e AuditEntry) bool { return e.At > 1 })
+	if len(got) != 1 || got[0].Kind != AuditReroute {
+		t.Fatalf("filter = %+v", got)
+	}
+	s := log.Summary()
+	if s.Entries != 2 || s.Dropped != 1 || s.ByKind["place"] != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	var buf bytes.Buffer
+	if err := log.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 { // 2 entries + truncation marker
+		t.Fatalf("jsonl lines = %d: %q", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[2], `"truncated"`) || !strings.Contains(lines[2], `"dropped":1`) {
+		t.Fatalf("missing truncation marker: %q", lines[2])
+	}
+}
+
+func TestReportDeterministicBytes(t *testing.T) {
+	build := func() *Report {
+		eng := sim.NewEngine()
+		rd := NewRunData(eng, sim.Millisecond, 10)
+		rd.Registry.Counter("b.two").Add(2)
+		rd.Registry.Counter("a.one").Inc()
+		rd.Registry.GaugeFunc("c.fn", func() float64 { return 9 })
+		rd.Registry.Histogram("h", []float64{1}).Observe(0.5)
+		rd.Audit.Add(AuditEntry{At: 5, Kind: AuditPlace, Reason: ReasonFresh})
+		rd.Sweeper.Start()
+		eng.Run(2 * sim.Millisecond)
+		rd.Sweeper.Stop()
+		rep := &Report{Schema: ReportSchema, Scheme: "hermes", Seed: 1}
+		rd.Fill(rep)
+		return rep
+	}
+	var j1, j2, c1, c2 bytes.Buffer
+	r1, r2 := build(), build()
+	if err := r1.WriteJSON(&j1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.WriteJSON(&j2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1.Bytes(), j2.Bytes()) {
+		t.Fatal("JSON reports differ between identical builds")
+	}
+	if err := r1.WriteCSV(&c1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.WriteCSV(&c2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c1.Bytes(), c2.Bytes()) {
+		t.Fatal("CSV reports differ between identical builds")
+	}
+	if !strings.Contains(c1.String(), "counter,a.one,,1") {
+		t.Fatalf("missing counter row:\n%s", c1.String())
+	}
+	if !strings.Contains(c1.String(), "series,b.two,1000000,2") {
+		t.Fatalf("missing series row:\n%s", c1.String())
+	}
+	var txt bytes.Buffer
+	if err := r1.RenderText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "audit: 1 entries") {
+		t.Fatalf("text summary missing audit:\n%s", txt.String())
+	}
+}

@@ -42,13 +42,17 @@ type Event struct {
 type Recorder struct {
 	Events []Event
 
-	// MaxEvents bounds memory; once reached, recording stops silently
-	// (0 = unlimited).
+	// MaxEvents bounds memory; once reached, further events only bump
+	// Dropped (0 = unlimited).
 	MaxEvents int
+	// Dropped counts events discarded after the MaxEvents cap was hit, so a
+	// truncated trace is distinguishable from a complete one.
+	Dropped int
 }
 
 func (r *Recorder) add(e Event) {
 	if r.MaxEvents > 0 && len(r.Events) >= r.MaxEvents {
+		r.Dropped++
 		return
 	}
 	r.Events = append(r.Events, e)
@@ -76,11 +80,22 @@ func (r *Recorder) Count(k Kind) int {
 	return n
 }
 
-// WriteJSONL emits one JSON object per line.
+// WriteJSONL emits one JSON object per line. A truncated trace ends with a
+// {"kind":"truncated","dropped":N} marker so consumers can tell the timeline
+// is incomplete.
 func (r *Recorder) WriteJSONL(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	for _, e := range r.Events {
 		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	if r.Dropped > 0 {
+		marker := struct {
+			Kind    string `json:"kind"`
+			Dropped int    `json:"dropped"`
+		}{"truncated", r.Dropped}
+		if err := enc.Encode(marker); err != nil {
 			return fmt.Errorf("trace: %w", err)
 		}
 	}
@@ -163,6 +178,8 @@ type Summary struct {
 	PathChanges int
 	Retransmits int
 	Timeouts    int
+	// Dropped mirrors Recorder.Dropped: events lost to the MaxEvents cap.
+	Dropped int
 
 	// MovesPerFlow is the mean number of path changes per completed flow.
 	MovesPerFlow float64
@@ -175,7 +192,7 @@ type Summary struct {
 
 // Summarize computes the Summary for everything recorded.
 func (r *Recorder) Summarize() Summary {
-	var s Summary
+	s := Summary{Dropped: r.Dropped}
 	starts := map[uint64]sim.Time{}
 	moves := map[uint64]int{}
 	var lifetimes sim.Time

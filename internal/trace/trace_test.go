@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
@@ -152,5 +153,51 @@ func TestSummarizeEndToEnd(t *testing.T) {
 	// ECMP: exactly one placement per flow, zero moves.
 	if s.Placements != 10 || s.PathChanges != 0 {
 		t.Fatalf("placements/moves = %d/%d", s.Placements, s.PathChanges)
+	}
+}
+
+func TestMaxEventsCountsDropped(t *testing.T) {
+	rec := &Recorder{MaxEvents: 3}
+	for i := 0; i < 7; i++ {
+		rec.add(Event{At: sim.Time(i), Flow: 1, Kind: Retransmit})
+	}
+	if len(rec.Events) != 3 {
+		t.Fatalf("kept %d events, want 3", len(rec.Events))
+	}
+	if rec.Dropped != 4 {
+		t.Fatalf("Dropped = %d, want 4", rec.Dropped)
+	}
+	if s := rec.Summarize(); s.Dropped != 4 {
+		t.Fatalf("Summary.Dropped = %d, want 4", s.Dropped)
+	}
+
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("JSONL has %d lines, want 3 events + truncation marker", len(lines))
+	}
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, `"truncated"`) || !strings.Contains(last, `"dropped":4`) {
+		t.Fatalf("missing truncation marker, got %q", last)
+	}
+}
+
+func TestUncappedRecorderNeverDrops(t *testing.T) {
+	rec := &Recorder{}
+	for i := 0; i < 100; i++ {
+		rec.add(Event{At: sim.Time(i), Flow: 1, Kind: Retransmit})
+	}
+	if len(rec.Events) != 100 || rec.Dropped != 0 {
+		t.Fatalf("events/dropped = %d/%d, want 100/0", len(rec.Events), rec.Dropped)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "truncated") {
+		t.Fatal("truncation marker emitted for a complete trace")
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"github.com/hermes-repro/hermes/internal/net"
 	"github.com/hermes-repro/hermes/internal/sim"
+	"github.com/hermes-repro/hermes/internal/telemetry"
 )
 
 // Transport owns one Endpoint per host and the global flow registry.
@@ -21,6 +22,14 @@ type Transport struct {
 	nextFlowID uint64
 	active     map[uint64]*Flow
 	finished   int
+
+	// Telemetry instruments; nil (free) unless AttachTelemetry was called.
+	telemFlowsStarted *telemetry.Counter
+	telemFlowsDone    *telemetry.Counter
+	telemRetx         *telemetry.Counter
+	telemRTO          *telemetry.Counter
+	telemCwnd         *telemetry.Histogram
+	telemAlpha        *telemetry.Histogram
 }
 
 // New wires an endpoint onto every host. balFor supplies the per-host
@@ -87,6 +96,7 @@ func (tr *Transport) StartFlow(src, dst int, size int64) *Flow {
 	}
 	ep.flows[f.ID] = f
 	tr.active[f.ID] = f
+	tr.telemFlowsStarted.Inc()
 	ep.bal.OnFlowStart(f)
 	f.trySend()
 	return f

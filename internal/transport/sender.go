@@ -64,6 +64,7 @@ func (f *Flow) sendSegment(seq int64, payload int, retx bool) {
 }
 
 func (f *Flow) retransmitFirst() {
+	f.ep.tr.telemRetx.Inc()
 	payload := int64(net.MSS)
 	if rem := f.Size - f.cumAck; rem < payload {
 		payload = rem
@@ -107,6 +108,8 @@ func (f *Flow) onRTO() {
 	if f.Done {
 		return
 	}
+	f.ep.tr.telemRTO.Inc()
+	f.ep.tr.telemCwnd.Observe(f.cwnd)
 	f.timeouts++
 	f.TimedOut = true
 	f.rtoBackoff++
@@ -255,6 +258,11 @@ func (f *Flow) finish(now sim.Time) {
 	delete(f.ep.flows, f.ID)
 	delete(tr.active, f.ID)
 	tr.finished++
+	tr.telemFlowsDone.Inc()
+	tr.telemCwnd.Observe(f.cwnd)
+	if tr.Opts.Protocol == DCTCP {
+		tr.telemAlpha.Observe(f.alpha)
+	}
 	f.ep.bal.OnFlowDone(f)
 	if tr.OnFlowDone != nil && !f.Hidden {
 		tr.OnFlowDone(f)

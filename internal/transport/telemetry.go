@@ -1,0 +1,24 @@
+package transport
+
+import "github.com/hermes-repro/hermes/internal/telemetry"
+
+// AttachTelemetry registers the transport's instruments on reg. The hot-path
+// hooks (retransmits, RTOs, flow lifecycle, window and ECN-fraction samples)
+// hold the returned instrument pointers directly; when this method is never
+// called they stay nil and each hook costs one nil check.
+func (tr *Transport) AttachTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	tr.telemFlowsStarted = reg.Counter("transport.flows_started")
+	tr.telemFlowsDone = reg.Counter("transport.flows_finished")
+	tr.telemRetx = reg.Counter("transport.retransmits_total")
+	tr.telemRTO = reg.Counter("transport.timeouts_total")
+	// Window samples in bytes, taken at every RTO and at flow completion.
+	tr.telemCwnd = reg.Histogram("transport.cwnd_bytes",
+		[]float64{1_500, 15_000, 75_000, 150_000, 750_000, 1_500_000})
+	// Per-flow DCTCP alpha (smoothed ECN-marked fraction) at completion.
+	tr.telemAlpha = reg.Histogram("transport.flow_ecn_fraction",
+		[]float64{0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 1})
+	reg.GaugeFunc("transport.flows_active", func() float64 { return float64(len(tr.active)) })
+}

@@ -1,0 +1,177 @@
+package hermes
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/hermes-repro/hermes/internal/telemetry"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenConfig is a small blackhole run: big enough to exercise every report
+// section (counters, series, histograms, audit), small enough to keep the
+// golden file reviewable.
+func goldenConfig() Config {
+	return Config{
+		Topology: Topology{
+			Leaves: 2, Spines: 2, HostsPerLeaf: 2,
+			HostRateBps: 1e9, FabricRateBps: 1e9,
+			HostDelayNs: 2000, FabricDelayNs: 2000,
+		},
+		Scheme:              SchemeHermes,
+		Workload:            "web-search",
+		Load:                0.4,
+		Flows:               30,
+		Seed:                42,
+		Failure:             FailureSpec{Kind: FailureBlackhole, Spine: 0},
+		DrainTimeoutNs:      200 * 1e6,
+		Telemetry:           true,
+		TelemetryIntervalNs: 20 * 1e6,
+	}
+}
+
+func buildGoldenReport(t *testing.T) *Report {
+	t.Helper()
+	cfg := goldenConfig()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := BuildReport(cfg, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestReportGolden pins the report schema and content byte-for-byte. After an
+// intentional format change, regenerate with `go test -run Golden -update`
+// and review the diff.
+func TestReportGolden(t *testing.T) {
+	rep := buildGoldenReport(t)
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "report_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("report differs from %s (len %d vs %d); regenerate with -update and review",
+			path, buf.Len(), len(want))
+	}
+	if rep.Schema != telemetry.ReportSchema {
+		t.Fatalf("schema = %q, want %q", rep.Schema, telemetry.ReportSchema)
+	}
+}
+
+// TestReportDeterminism is the regression gate for simulation-time-only
+// telemetry: two runs with identical config and seed must serialize to
+// byte-identical JSON and CSV. Any wall-clock or map-order leak breaks this.
+func TestReportDeterminism(t *testing.T) {
+	var jsons, csvs [2]bytes.Buffer
+	for i := 0; i < 2; i++ {
+		rep := buildGoldenReport(t)
+		if err := rep.WriteJSON(&jsons[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.WriteCSV(&csvs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(jsons[0].Bytes(), jsons[1].Bytes()) {
+		t.Fatal("same seed produced different JSON reports")
+	}
+	if !bytes.Equal(csvs[0].Bytes(), csvs[1].Bytes()) {
+		t.Fatal("same seed produced different CSV reports")
+	}
+}
+
+// TestBlackholeAuditLog checks the acceptance scenario: a blackhole run must
+// leave a non-empty decision audit trail with failure verdicts, and the
+// report must carry FCT percentiles and per-port counter totals.
+func TestBlackholeAuditLog(t *testing.T) {
+	rep := buildGoldenReport(t)
+
+	if rep.Audit.Entries == 0 {
+		t.Fatal("blackhole run produced an empty audit log")
+	}
+	if rep.Audit.ByKind[string(telemetry.AuditPlace)] == 0 {
+		t.Fatal("no placement entries recorded")
+	}
+	verdicts := 0
+	for _, reason := range []string{
+		telemetry.ReasonBlackhole, telemetry.ReasonProbeLoss, telemetry.ReasonSilentDrop,
+	} {
+		verdicts += rep.Audit.ByReason[reason]
+	}
+	if verdicts == 0 {
+		t.Fatalf("no failure verdicts in audit log: %+v", rep.Audit.ByReason)
+	}
+
+	if rep.FCT.Flows == 0 || rep.FCT.Overall.Count == 0 {
+		t.Fatal("report missing FCT percentiles")
+	}
+	perPort := 0
+	for k := range rep.Counters {
+		if strings.HasPrefix(k, "net.port.") {
+			perPort++
+		}
+	}
+	if perPort == 0 {
+		t.Fatal("report missing per-port counter totals")
+	}
+	if len(rep.SeriesTimesNs) == 0 || len(rep.Series) == 0 {
+		t.Fatal("report missing swept time series")
+	}
+
+	// The embedded config must round-trip.
+	var cfg Config
+	if err := json.Unmarshal(rep.Config, &cfg); err != nil {
+		t.Fatalf("embedded config does not parse: %v", err)
+	}
+	if cfg.Seed != 42 || cfg.Scheme != SchemeHermes {
+		t.Fatalf("embedded config mangled: %+v", cfg)
+	}
+}
+
+// TestTelemetryOffLeavesResultBare ensures the default path is unchanged:
+// no registry, no audit log, nil Telemetry on the result.
+func TestTelemetryOffLeavesResultBare(t *testing.T) {
+	cfg := goldenConfig()
+	cfg.Telemetry = false
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Telemetry != nil {
+		t.Fatal("telemetry bundle allocated despite Telemetry=false")
+	}
+	// BuildReport still works, with run-level counters only.
+	rep, err := BuildReport(cfg, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Audit.Entries != 0 || len(rep.Series) != 0 {
+		t.Fatal("disabled telemetry leaked data into the report")
+	}
+	if _, ok := rep.Counters["run.goodput_gbps"]; !ok {
+		t.Fatal("run-level counters missing")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"github.com/hermes-repro/hermes/internal/lb"
 	"github.com/hermes-repro/hermes/internal/net"
 	"github.com/hermes-repro/hermes/internal/sim"
+	"github.com/hermes-repro/hermes/internal/telemetry"
 	"github.com/hermes-repro/hermes/internal/transport"
 )
 
@@ -20,7 +21,7 @@ type wiring struct {
 func noAfter(*net.Network, *sim.RNG)   {}
 func noTelemetry(*Result, *sim.Engine) {}
 
-func buildScheme(nw *net.Network, rng *sim.RNG, cfg Config) (*wiring, error) {
+func buildScheme(nw *net.Network, rng *sim.RNG, cfg Config, rd *telemetry.RunData) (*wiring, error) {
 	flowlet := sim.Time(cfg.FlowletTimeoutNs)
 	if flowlet <= 0 {
 		flowlet = 150 * sim.Microsecond
@@ -94,7 +95,7 @@ func buildScheme(nw *net.Network, rng *sim.RNG, cfg Config) (*wiring, error) {
 		w.balancerFor = func(*net.Host) transport.Balancer { return e }
 
 	case SchemeHermes:
-		return buildHermes(nw, rng, cfg)
+		return buildHermes(nw, rng, cfg, rd)
 
 	default:
 		return nil, fmt.Errorf("hermes: unknown scheme %q", cfg.Scheme)
@@ -106,7 +107,7 @@ func passThrough(name string) func(*net.Host) transport.Balancer {
 	return func(*net.Host) transport.Balancer { return &lb.PassThrough{Scheme: name} }
 }
 
-func buildHermes(nw *net.Network, rng *sim.RNG, cfg Config) (*wiring, error) {
+func buildHermes(nw *net.Network, rng *sim.RNG, cfg Config, rd *telemetry.RunData) (*wiring, error) {
 	var params core.Params
 	if cfg.HermesParams != nil {
 		params = *cfg.HermesParams
@@ -121,20 +122,31 @@ func buildHermes(nw *net.Network, rng *sim.RNG, cfg Config) (*wiring, error) {
 		}
 	}
 
+	var reg *telemetry.Registry
+	var audit *telemetry.AuditLog
+	if rd != nil {
+		reg, audit = rd.Registry, rd.Audit
+	}
+
 	monitors := make([]*core.Monitor, nw.Cfg.Leaves)
 	for l := range monitors {
 		monitors[l] = core.NewMonitor(nw, l, params)
+		monitors[l].Audit = audit
 	}
 	instances := map[int]*core.Hermes{}
 
 	w := &wiring{}
 	w.balancerFor = func(h *net.Host) transport.Balancer {
 		inst := core.New(monitors[h.Leaf], rng, h.ID)
+		inst.AttachTelemetry(reg, audit)
 		instances[h.ID] = inst
 		return inst
 	}
 
 	var probers []*core.Prober
+	if reg != nil {
+		attachHermesGauges(reg, monitors, instances, &probers)
+	}
 	w.afterTransport = func(nw *net.Network, rng *sim.RNG) {
 		if params.ProbeInterval <= 0 {
 			return
@@ -168,4 +180,76 @@ func buildHermes(nw *net.Network, rng *sim.RNG, cfg Config) (*wiring, error) {
 		}
 	}
 	return w, nil
+}
+
+// attachHermesGauges registers pull-style metrics over the Hermes control
+// plane: reroute/probe totals, failure-mark events, and the Algorithm 1 path
+// census (how many (dstLeaf, path) pairs each monitor currently classifies
+// good/gray/congested/failed). Pull gauges cost nothing on the hot path; the
+// sweeper evaluates them once per interval. All sums are over integer-valued
+// counters, so map iteration order cannot perturb the result.
+func attachHermesGauges(reg *telemetry.Registry, monitors []*core.Monitor,
+	instances map[int]*core.Hermes, probers *[]*core.Prober) {
+	reg.GaugeFunc("hermes.reroutes_total", func() float64 {
+		var n uint64
+		for _, inst := range instances {
+			n += inst.Reroutes
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("hermes.timeout_reroutes_total", func() float64 {
+		var n uint64
+		for _, inst := range instances {
+			n += inst.TimeoutReroutes
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("hermes.failure_reroutes_total", func() float64 {
+		var n uint64
+		for _, inst := range instances {
+			n += inst.FailureReroutes
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("hermes.fail_marks_total", func() float64 {
+		var n uint64
+		for _, m := range monitors {
+			n += m.FailMarkEvents
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("hermes.probes_sent_total", func() float64 {
+		var n uint64
+		for _, p := range *probers {
+			n += p.ProbesSent
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("hermes.probes_lost_total", func() float64 {
+		var n uint64
+		for _, p := range *probers {
+			n += p.ProbesLost
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("hermes.probe_bytes_total", func() float64 {
+		var n uint64
+		for _, p := range *probers {
+			n += p.ProbeBytes
+		}
+		return float64(n)
+	})
+	census := func(pick func(good, gray, congested, failed int) int) func() float64 {
+		return func() float64 {
+			var n int
+			for _, m := range monitors {
+				n += pick(m.PathCensus())
+			}
+			return float64(n)
+		}
+	}
+	reg.GaugeFunc("hermes.paths_good", census(func(g, _, _, _ int) int { return g }))
+	reg.GaugeFunc("hermes.paths_gray", census(func(_, g, _, _ int) int { return g }))
+	reg.GaugeFunc("hermes.paths_congested", census(func(_, _, c, _ int) int { return c }))
+	reg.GaugeFunc("hermes.paths_failed", census(func(_, _, _, f int) int { return f }))
 }
