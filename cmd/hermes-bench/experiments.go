@@ -92,16 +92,20 @@ func degrade() hermes.FailureSpec {
 	return hermes.FailureSpec{Kind: hermes.FailureDegrade, Fraction: 0.2, DegradedBps: 2e9}
 }
 
-// sweep runs one scheme across loads (in parallel; each run is an isolated
-// deterministic simulation) and returns the results in load order.
+// sweep runs one scheme across loads (in parallel, bounded by -workers; each
+// run is an isolated deterministic simulation) and returns the results in
+// load order.
 func sweep(cfg hermes.Config, loads []float64) []*hermes.Result {
 	out := make([]*hermes.Result, len(loads))
+	sem := make(chan struct{}, sweepWorkers)
 	var wg sync.WaitGroup
 	for i, l := range loads {
 		i, l := i, l
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
 			c := cfg
 			c.Load = l
 			out[i] = mustRun(c)

@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/hermes-repro/hermes"
 	"github.com/hermes-repro/hermes/internal/textplot"
 )
 
@@ -37,6 +38,10 @@ type options struct {
 // CSV mirroring: when -csv DIR is set, every table printed through
 // header()/row() is also written as DIR/<experiment>_<n>.csv. When -plot is
 // set, each table is additionally rendered as ASCII bars.
+// sweepWorkers bounds the concurrent simulations a load sweep runs; the
+// -workers flag overrides it (default GOMAXPROCS).
+var sweepWorkers = runtime.GOMAXPROCS(0)
+
 var (
 	csvDir     string
 	plotTables bool
@@ -115,6 +120,8 @@ func main() {
 		csvOut = flag.String("csv", "", "also write each table as CSV into this directory")
 		plot   = flag.Bool("plot", false, "render each table as ASCII bars too")
 
+		workers = flag.Int("workers", 0, "worker-pool size for multi-seed sweeps (0 = GOMAXPROCS)")
+
 		telem   = flag.Bool("telemetry", false, "run every experiment with telemetry enabled")
 		repDir  = flag.String("report", "", "write one telemetry report JSON per run into this directory (implies -telemetry)")
 		audDir  = flag.String("audit", "", "write one Hermes audit JSONL per run into this directory (implies -telemetry)")
@@ -123,6 +130,10 @@ func main() {
 	)
 	flag.Parse()
 	plotTables = *plot
+	hermes.SetDefaultWorkers(*workers)
+	if *workers > 0 {
+		sweepWorkers = *workers
+	}
 	if *csvOut != "" {
 		if err := os.MkdirAll(*csvOut, 0o755); err != nil {
 			log.Fatal(err)

@@ -48,6 +48,7 @@ func main() {
 		auditFile  = flag.String("audit", "", "write the Hermes decision audit log as JSONL (implies -telemetry)")
 		sweepUs    = flag.Int64("sweep-us", 0, "telemetry sweep interval in microseconds (0 = 1000)")
 		subflows   = flag.Int("mptcp-subflows", 4, "subflows per logical flow (mptcp scheme)")
+		checks     = flag.Bool("checks", false, "arm the simulation invariant harness (engine + packet-conservation checks)")
 		configFile = flag.String("config", "", "load the full experiment Config from a JSON file (overrides other flags)")
 	)
 	flag.Parse()
@@ -106,6 +107,7 @@ func main() {
 	}
 	cfg.Telemetry = *telem
 	cfg.TelemetryIntervalNs = *sweepUs * 1000
+	cfg.Checks = *checks
 
 	if *configFile != "" {
 		data, err := os.ReadFile(*configFile)
@@ -117,6 +119,9 @@ func main() {
 			log.Fatalf("parse %s: %v", *configFile, err)
 		}
 		fileCfg.TraceWriter = cfg.TraceWriter
+		if *checks {
+			fileCfg.Checks = true
+		}
 		if *telem {
 			// -report/-audit/-telemetry stay in force over a config file.
 			fileCfg.Telemetry = true

@@ -1,6 +1,7 @@
 package hermes
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -15,6 +16,10 @@ type Comparison struct {
 	Seeds   []int64
 	// Base is the shared configuration; Scheme and Seed are overwritten.
 	Base Config
+	// Workers bounds the per-scheme worker pool (0 = process default).
+	Workers int
+	// Context, when non-nil, cancels the whole matrix.
+	Context context.Context
 }
 
 // ComparisonRow is the aggregate outcome for one scheme.
@@ -35,11 +40,15 @@ func (c Comparison) Run() ([]ComparisonRow, error) {
 	if len(seeds) == 0 {
 		seeds = Seeds(1, 1)
 	}
+	ctx := c.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	rows := make([]ComparisonRow, 0, len(c.Schemes))
 	for _, sch := range c.Schemes {
 		cfg := c.Base
 		cfg.Scheme = sch
-		results, stats, err := RunSeeds(cfg, seeds)
+		results, stats, err := RunSeedsOpts(ctx, cfg, seeds, ParallelOptions{Workers: c.Workers})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", sch, err)
 		}

@@ -180,7 +180,7 @@ func TestMPTCPIncastPenalty(t *testing.T) {
 	// small-flow tail should not beat plain ECMP's.
 	cfg := Config{
 		Topology: smallTopo(), Workload: "web-search",
-		Load: 0.8, Flows: 250, Seed: 12, MPTCPSubflows: 8,
+		Load: 0.8, Flows: flowCount(250, 120), Seed: 12, MPTCPSubflows: 8,
 	}
 	cfg.Scheme = SchemeECMP
 	ecmp := mustRun(t, cfg)
@@ -268,7 +268,7 @@ func TestTestbedCableCut(t *testing.T) {
 	// averages (the paper averages 5 runs, §5.1).
 	cfg := Config{
 		Topology: TestbedTopology(), Workload: "web-search",
-		Load: 0.5, Flows: 500,
+		Load: 0.5, Flows: flowCount(500, 250),
 		Failure: FailureSpec{Kind: FailureCutCable, CutLeaf: 1, CutSpine: 1},
 	}
 	seeds := Seeds(1, 2)
@@ -287,7 +287,9 @@ func TestTestbedCableCut(t *testing.T) {
 			t.Fatal("cable cut stranded flows")
 		}
 	}
-	if hStats.Mean >= eStats.Mean {
+	// The seed-averaged ranking needs the full replay count to be stable;
+	// short mode (the -race pass) only exercises the scenario.
+	if !testing.Short() && hStats.Mean >= eStats.Mean {
 		t.Fatalf("Hermes %.2f ms not ahead of ECMP %.2f ms after cable cut (seed avg)",
 			hStats.Mean, eStats.Mean)
 	}

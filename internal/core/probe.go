@@ -71,7 +71,8 @@ func InstallProbeResponders(nw *net.Network) {
 	for _, h := range nw.Hosts {
 		h := h
 		h.Handle(net.Probe, func(pkt *net.Packet) {
-			h.Send(&net.Packet{
+			echo := nw.AllocPacket()
+			*echo = net.Packet{
 				Kind:     net.ProbeEcho,
 				Flow:     pkt.Flow,
 				Src:      h.ID,
@@ -82,7 +83,8 @@ func InstallProbeResponders(nw *net.Network) {
 				EchoPath: pkt.Path,
 				EchoCE:   pkt.CE,
 				SentAt:   pkt.SentAt,
-			})
+			}
+			h.Send(echo)
 		})
 	}
 }
@@ -140,7 +142,8 @@ func (p *Prober) sendProbe(dstLeaf, path int, now sim.Time) {
 	p.pending[id] = pp
 	p.ProbesSent++
 	p.ProbeBytes += net.ProbeBytes
-	p.Agent.Send(&net.Packet{
+	pkt := p.Mon.Net.AllocPacket()
+	*pkt = net.Packet{
 		Kind:   net.Probe,
 		Flow:   id,
 		Src:    p.Agent.ID,
@@ -149,7 +152,8 @@ func (p *Prober) sendProbe(dstLeaf, path int, now sim.Time) {
 		ECT:    true,
 		Path:   path,
 		SentAt: now,
-	})
+	}
+	p.Agent.Send(pkt)
 }
 
 func (p *Prober) onEcho(pkt *net.Packet) {

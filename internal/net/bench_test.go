@@ -1,0 +1,65 @@
+package net
+
+import (
+	"testing"
+
+	"github.com/hermes-repro/hermes/internal/sim"
+)
+
+// benchFabric builds the smallest cross-leaf fabric that exercises the full
+// forwarding hot path: host uplink -> leaf -> spine -> leaf -> host, four
+// store-and-forward hops with two engine events each.
+func benchFabric(b *testing.B) (*sim.Engine, *Network) {
+	b.Helper()
+	eng := sim.NewEngine()
+	nw, err := NewLeafSpine(eng, sim.NewRNG(1), Config{
+		Leaves: 2, Spines: 2, HostsPerLeaf: 2,
+		HostRateBps: 10_000_000_000, FabricRateBps: 10_000_000_000,
+		HostDelay: 1000, FabricDelay: 1000,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng, nw
+}
+
+// BenchmarkPacketForward measures the allocation cost of forwarding one
+// full-size data packet across the fabric (the simulator's dominant hot
+// path). The alloc/op figure is the headline number in BENCH_sim.json.
+func BenchmarkPacketForward(b *testing.B) {
+	eng, nw := benchFabric(b)
+	delivered := 0
+	nw.Hosts[2].Handle(Data, func(p *Packet) { delivered++ })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt := &Packet{Kind: Data, Flow: uint64(i), Src: 0, Dst: 2, Wire: MaxPacketBytes, Path: i % 2}
+		nw.Hosts[0].Send(pkt)
+		eng.RunAll()
+	}
+	if delivered != b.N {
+		b.Fatalf("delivered %d of %d packets", delivered, b.N)
+	}
+}
+
+// BenchmarkPacketForwardPipelined keeps a window of packets in flight so the
+// ports stay busy, amortizing engine bookkeeping the way a loaded run does.
+func BenchmarkPacketForwardPipelined(b *testing.B) {
+	eng, nw := benchFabric(b)
+	delivered := 0
+	nw.Hosts[2].Handle(Data, func(p *Packet) { delivered++ })
+	b.ReportAllocs()
+	b.ResetTimer()
+	const window = 32
+	for i := 0; i < b.N; i++ {
+		pkt := &Packet{Kind: Data, Flow: uint64(i), Src: 0, Dst: 2, Wire: MaxPacketBytes, Path: i % 2}
+		nw.Hosts[0].Send(pkt)
+		if i%window == window-1 {
+			eng.RunAll()
+		}
+	}
+	eng.RunAll()
+	if delivered != b.N {
+		b.Fatalf("delivered %d of %d packets", delivered, b.N)
+	}
+}

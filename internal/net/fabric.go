@@ -38,15 +38,28 @@ type Host struct {
 func (h *Host) Handle(k Kind, fn Handler) { h.handlers[k] = fn }
 
 // Send injects a packet into the fabric through the host's access link.
-func (h *Host) Send(pkt *Packet) { h.uplink.Enqueue(pkt) }
+// Ownership of the packet transfers to the fabric: once delivered (or
+// dropped) it is recycled into the network's packet pool, so callers must
+// not retain or re-send it.
+func (h *Host) Send(pkt *Packet) {
+	h.net.injected++
+	h.uplink.Enqueue(pkt)
+}
 
 // Uplink exposes the access-link port (for utilization accounting).
 func (h *Host) Uplink() *Port { return h.uplink }
 
+// Network returns the fabric this host is attached to.
+func (h *Host) Network() *Network { return h.net }
+
 func (h *Host) deliver(pkt *Packet) {
+	h.net.delivered++
 	if fn := h.handlers[pkt.Kind]; fn != nil {
 		fn(pkt)
 	}
+	// The packet's life ends at the sink: recycle it once the handler
+	// returns. Handlers that need fields past their return must copy them.
+	h.net.FreePacket(pkt)
 }
 
 // Switch is a leaf or spine switch.
@@ -65,6 +78,10 @@ type Switch struct {
 	// drops the packet. Used by the blackhole and random-drop injectors.
 	DropFn func(*Packet) bool
 
+	// Drops counts packets DropFn swallowed (silent switch drops). Part of
+	// the packet-conservation invariant.
+	Drops uint64
+
 	// Balancer, on leaf switches, performs in-switch path selection.
 	Balancer SwitchBalancer
 }
@@ -77,6 +94,8 @@ func (s *Switch) Downlink(i int) *Port { return s.down[i] }
 
 func (s *Switch) receive(pkt *Packet) {
 	if s.DropFn != nil && s.DropFn(pkt) {
+		s.Drops++
+		s.net.FreePacket(pkt)
 		return
 	}
 	n := s.net
@@ -188,6 +207,42 @@ type Network struct {
 	fabric [][]int64
 
 	pathCache map[int][]int // srcLeaf*L+dstLeaf -> usable path indices
+
+	// Packet pool: packets recycled at their sink (final host delivery or
+	// any drop) plus a block of never-used structs. AllocPacket hands them
+	// back out, so a warm steady state allocates no packets at all.
+	pktFree  []*Packet
+	pktChunk []Packet
+
+	// Conservation counters (plain adds; always on).
+	injected  uint64 // packets entering the fabric via Host.Send
+	delivered uint64 // packets reaching their destination host
+}
+
+// AllocPacket returns a packet from the network's free list (or a fresh
+// one). The contents are UNDEFINED: callers must overwrite the whole struct,
+// conventionally with `*pkt = Packet{...}`. Ownership passes back to the
+// pool when the fabric delivers or drops the packet.
+func (n *Network) AllocPacket() *Packet {
+	if k := len(n.pktFree); k > 0 {
+		p := n.pktFree[k-1]
+		n.pktFree[k-1] = nil
+		n.pktFree = n.pktFree[:k-1]
+		return p
+	}
+	if len(n.pktChunk) == 0 {
+		n.pktChunk = make([]Packet, 128)
+	}
+	p := &n.pktChunk[0]
+	n.pktChunk = n.pktChunk[1:]
+	return p
+}
+
+// FreePacket returns a packet to the pool. Called by the fabric at every
+// packet sink; call it directly only for packets that never entered the
+// fabric (ownership rules in Host.Send).
+func (n *Network) FreePacket(p *Packet) {
+	n.pktFree = append(n.pktFree, p)
 }
 
 // NewLeafSpine builds the fabric described by cfg.
@@ -211,6 +266,14 @@ func NewLeafSpine(eng *sim.Engine, rng *sim.RNG, cfg Config) (*Network, error) {
 	fabricPort := PortConfig{RateBps: cfg.FabricRateBps, PropDelay: cfg.FabricDelay, ECNK: -1,
 		QueueCap: qf * DefaultECNK(cfg.FabricRateBps)}
 
+	// newPort wires every fabric port into the shared packet pool so drops
+	// recycle their packet.
+	newPort := func(name string, cfg PortConfig, deliver func(*Packet)) *Port {
+		pt := NewPort(eng, name, cfg, deliver)
+		pt.recycle = n.FreePacket
+		return pt
+	}
+
 	C := cfg.cables()
 	n.fabric = make([][]int64, cfg.Leaves)
 	for l, leaf := range n.Leaves {
@@ -220,20 +283,79 @@ func NewLeafSpine(eng *sim.Engine, rng *sim.RNG, cfg Config) (*Network, error) {
 			for c := 0; c < C; c++ {
 				p := s*C + c
 				n.fabric[l][p] = cfg.FabricRateBps
-				leaf.up = append(leaf.up, NewPort(eng,
+				leaf.up = append(leaf.up, newPort(
 					fmt.Sprintf("leaf%d->spine%d.%d", l, s, c), fabricPort, sp.receive))
 				// spine.down is indexed leaf*C + cable.
-				sp.down = append(sp.down, NewPort(eng,
+				sp.down = append(sp.down, newPort(
 					fmt.Sprintf("spine%d->leaf%d.%d", s, l, c), fabricPort, leaf.receive))
 			}
 		}
 		for i := 0; i < cfg.HostsPerLeaf; i++ {
 			h := n.Hosts[l*cfg.HostsPerLeaf+i]
-			h.uplink = NewPort(eng, fmt.Sprintf("host%d->leaf%d", h.ID, l), hostPort, leaf.receive)
-			leaf.down = append(leaf.down, NewPort(eng, fmt.Sprintf("leaf%d->host%d", l, h.ID), hostPort, h.deliver))
+			h.uplink = newPort(fmt.Sprintf("host%d->leaf%d", h.ID, l), hostPort, leaf.receive)
+			leaf.down = append(leaf.down, newPort(fmt.Sprintf("leaf%d->host%d", l, h.ID), hostPort, h.deliver))
 		}
 	}
 	return n, nil
+}
+
+// ForEachPort visits every port of the fabric in a deterministic order.
+func (n *Network) ForEachPort(fn func(*Port)) {
+	for _, leaf := range n.Leaves {
+		for _, p := range leaf.up {
+			fn(p)
+		}
+		for _, p := range leaf.down {
+			fn(p)
+		}
+	}
+	for _, sp := range n.Spines {
+		for _, p := range sp.down {
+			fn(p)
+		}
+	}
+	for _, h := range n.Hosts {
+		fn(h.uplink)
+	}
+}
+
+// PacketStats summarizes the fabric-wide packet ledger.
+type PacketStats struct {
+	Injected    uint64 // packets that entered via Host.Send
+	Delivered   uint64 // packets delivered to a destination host
+	PortDrops   uint64 // drop-tail, down-link drops across all ports
+	SwitchDrops uint64 // silent DropFn drops (blackholes, random drops)
+	InFlight    int64  // packets currently queued, transmitting or propagating
+}
+
+// PacketStats computes the current ledger by summing the per-port and
+// per-switch counters.
+func (n *Network) PacketStats() PacketStats {
+	st := PacketStats{Injected: n.injected, Delivered: n.delivered}
+	n.ForEachPort(func(p *Port) {
+		st.PortDrops += p.Drops
+		st.InFlight += p.holding
+	})
+	for _, sw := range n.Leaves {
+		st.SwitchDrops += sw.Drops
+	}
+	for _, sw := range n.Spines {
+		st.SwitchDrops += sw.Drops
+	}
+	return st
+}
+
+// CheckConservation verifies the packet-conservation invariant: every packet
+// injected has been delivered, dropped, or is still in flight. A violation
+// means the fabric (or a pooling bug) leaked or duplicated a packet.
+func (n *Network) CheckConservation() error {
+	st := n.PacketStats()
+	accounted := st.Delivered + st.PortDrops + st.SwitchDrops + uint64(st.InFlight)
+	if st.InFlight < 0 || st.Injected != accounted {
+		return fmt.Errorf("net: packet conservation violated: injected %d != delivered %d + portDrops %d + switchDrops %d + inFlight %d",
+			st.Injected, st.Delivered, st.PortDrops, st.SwitchDrops, st.InFlight)
+	}
+	return nil
 }
 
 // PathSpine maps a path index to its spine switch index.

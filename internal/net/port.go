@@ -18,10 +18,17 @@ type Port struct {
 	ecnK      int      // ECN marking threshold in bytes (0 disables)
 
 	deliver func(*Packet) // invoked at the far end after propagation
+	// recycle, when non-nil, receives packets this port drops so a pool can
+	// reuse them. Set by Network on fabric ports; nil on standalone ports.
+	recycle func(*Packet)
 
 	hi, lo           pktRing
 	hiBytes, loBytes int
 	busy             bool
+	// holding counts packets this port currently owns: queued, transmitting,
+	// or propagating toward the far end. The conservation invariant sums it
+	// fabric-wide.
+	holding int64
 
 	// OnTx, if set, runs when a packet starts transmission on this port
 	// (after the DRE update). CONGA uses it to stamp congestion metrics.
@@ -174,6 +181,7 @@ func (p *Port) UtilFraction(now sim.Time) float64 {
 func (p *Port) Enqueue(pkt *Packet) {
 	if p.Down() {
 		p.Drops++
+		p.drop(pkt)
 		return
 	}
 	if pkt.IsHighPriority() {
@@ -182,6 +190,7 @@ func (p *Port) Enqueue(pkt *Packet) {
 	} else {
 		if p.loBytes+pkt.Wire > p.queueCap {
 			p.Drops++
+			p.drop(pkt)
 			return
 		}
 		p.lo.push(pkt)
@@ -194,10 +203,22 @@ func (p *Port) Enqueue(pkt *Packet) {
 			p.ECNMarks++
 		}
 	}
+	p.holding++
 	if !p.busy {
 		p.transmitNext()
 	}
 }
+
+// drop hands a refused packet to the pool, if any.
+func (p *Port) drop(pkt *Packet) {
+	if p.recycle != nil {
+		p.recycle(pkt)
+	}
+}
+
+// Holding returns the number of packets this port currently owns (queued,
+// transmitting, or propagating toward the far end).
+func (p *Port) Holding() int64 { return p.holding }
 
 func (p *Port) transmitNext() {
 	var pkt *Packet
@@ -220,12 +241,26 @@ func (p *Port) transmitNext() {
 	}
 	txTime := sim.Time(int64(pkt.Wire) * 8 * sim.Second / p.rateBps)
 	p.busyTime += txTime
-	p.eng.Schedule(txTime, func() {
-		p.TxBytes += uint64(pkt.Wire)
-		p.TxPackets++
-		p.eng.Schedule(p.propDelay, func() { p.deliver(pkt) })
-		p.transmitNext()
-	})
+	// Pre-bound callbacks keep the two hottest scheduling sites in the whole
+	// simulator free of closure allocations.
+	p.eng.ScheduleCall(txTime, portTxDone, p, pkt)
+}
+
+// portTxDone fires when a packet's last bit leaves the transmitter: start
+// the propagation leg and pull the next packet from the queues.
+func portTxDone(a1, a2 any) {
+	p, pkt := a1.(*Port), a2.(*Packet)
+	p.TxBytes += uint64(pkt.Wire)
+	p.TxPackets++
+	p.eng.ScheduleCall(p.propDelay, portPropagated, p, pkt)
+	p.transmitNext()
+}
+
+// portPropagated fires when the packet reaches the far end of the link.
+func portPropagated(a1, a2 any) {
+	p, pkt := a1.(*Port), a2.(*Packet)
+	p.holding--
+	p.deliver(pkt)
 }
 
 // pktRing is a growable FIFO ring buffer of packets: O(1) push and pop, no

@@ -67,12 +67,140 @@ func TestCancel(t *testing.T) {
 	fired := false
 	ev := e.Schedule(10, func() { fired = true })
 	ev.Cancel()
+	if !ev.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
 	e.RunAll()
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	if !ev.Canceled() {
-		t.Fatal("Canceled() = false after Cancel")
+}
+
+// TestCancelThenRescheduleSameTimestamp is the free-list regression test: a
+// cancelled event must be recycled safely (only once popped, never while
+// still queued), and an event rescheduled at the exact same timestamp —
+// possibly reusing the recycled struct — must fire exactly once with no
+// stale cancel state.
+func TestCancelThenRescheduleSameTimestamp(t *testing.T) {
+	e := NewEngine()
+	var fired []string
+	old := e.Schedule(10, func() { fired = append(fired, "old") })
+	old.Cancel()
+	repl := e.Schedule(10, func() { fired = append(fired, "new") })
+	e.RunAll()
+	if len(fired) != 1 || fired[0] != "new" {
+		t.Fatalf("fired = %v, want [new]", fired)
+	}
+	if repl.Canceled() {
+		t.Fatal("replacement event reports Canceled")
+	}
+
+	// Second round: the cancelled struct is now on the free list. Scheduling
+	// at the same timestamp again must reuse it cleanly.
+	if e.FreeEvents() == 0 {
+		t.Fatal("cancelled+fired events were not recycled to the free list")
+	}
+	fired = nil
+	again := e.At(e.Now(), func() { fired = append(fired, "again") })
+	if again.Canceled() {
+		t.Fatal("recycled event carries stale cancel state")
+	}
+	e.RunAll()
+	if len(fired) != 1 || fired[0] != "again" {
+		t.Fatalf("fired = %v, want [again]", fired)
+	}
+}
+
+// TestEventRecycling pins the free-list behaviour the packet hot path relies
+// on: after a warm-up, schedule/fire cycles reuse event structs instead of
+// allocating.
+func TestEventRecycling(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 100; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	e.RunAll()
+	if got := e.FreeEvents(); got != 100 {
+		t.Fatalf("free list holds %d events after firing 100, want 100", got)
+	}
+	// Reuse: scheduling 100 more must drain the free list, not grow it.
+	for i := 0; i < 100; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	if got := e.FreeEvents(); got != 0 {
+		t.Fatalf("free list holds %d events after rescheduling 100, want 0", got)
+	}
+}
+
+func TestScheduleCall(t *testing.T) {
+	e := NewEngine()
+	type box struct{ n int }
+	b1, b2 := &box{}, &box{}
+	e.ScheduleCall(5, func(a1, a2 any) {
+		a1.(*box).n = 1
+		a2.(*box).n = 2
+	}, b1, b2)
+	e.RunAll()
+	if b1.n != 1 || b2.n != 2 {
+		t.Fatalf("ScheduleCall args not delivered: %d %d", b1.n, b2.n)
+	}
+}
+
+// TestScheduleCallOrderingWithSchedule verifies fn- and fn2-style events
+// share one sequence space: same-instant events fire in scheduling order
+// regardless of flavor.
+func TestScheduleCallOrderingWithSchedule(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(5, func() { got = append(got, 0) })
+	e.ScheduleCall(5, func(a1, _ any) { s := a1.(*[]int); *s = append(*s, 1) }, &got, nil)
+	e.Schedule(5, func() { got = append(got, 2) })
+	e.RunAll()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("mixed-flavor same-instant order = %v", got)
+		}
+	}
+}
+
+func TestChecksCleanRun(t *testing.T) {
+	e := NewEngine()
+	e.EnableChecks()
+	for i := 0; i < 50; i++ {
+		d := Time(i % 7)
+		e.Schedule(d, func() {})
+	}
+	ev := e.Schedule(3, func() { t.Fatal("cancelled event fired") })
+	ev.Cancel()
+	e.RunAll()
+	if v := e.Violations(); len(v) != 0 {
+		t.Fatalf("clean run recorded violations: %v", v)
+	}
+}
+
+// TestChecksDetectBackwardsTime corrupts the clock directly (white-box) and
+// confirms the checker notices the next event firing in the past.
+func TestChecksDetectBackwardsTime(t *testing.T) {
+	e := NewEngine()
+	e.EnableChecks()
+	e.Schedule(5, func() {})
+	e.now = 50 // corrupt: pending event is now in the past
+	e.RunAll()
+	if v := e.Violations(); len(v) == 0 {
+		t.Fatal("backwards-time violation not detected")
+	}
+}
+
+// TestChecksDetectFireAfterCancel forges a cancelled event straight into the
+// heap execution path (white-box) and confirms the state check trips.
+func TestChecksDetectFireAfterCancel(t *testing.T) {
+	e := NewEngine()
+	e.EnableChecks()
+	ev := e.Schedule(5, func() {})
+	ev.state = stateFired // forge: simulates a use-after-free double fire
+	e.RunAll()
+	if v := e.Violations(); len(v) == 0 {
+		t.Fatal("fire-in-wrong-state violation not detected")
 	}
 }
 

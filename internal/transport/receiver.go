@@ -82,6 +82,10 @@ func (ep *Endpoint) onData(pkt *net.Packet) {
 	}
 	if r.reorderTimer == nil {
 		buffered := len(r.segs)
+		// Copy the triggering packet: the fabric recycles *pkt into the
+		// packet pool as soon as this handler returns, so the closure must
+		// not retain the live pointer past delivery.
+		trigger := *pkt
 		r.reorderTimer = ep.tr.Eng.Schedule(timeout, func() {
 			r.reorderTimer = nil
 			if len(r.segs) == 0 {
@@ -98,7 +102,7 @@ func (ep *Endpoint) onData(pkt *net.Packet) {
 				n = 8
 			}
 			for i := 0; i < n; i++ {
-				ep.sendAck(pkt, r)
+				ep.sendAck(&trigger, r)
 			}
 		})
 	}
@@ -108,7 +112,8 @@ func (ep *Endpoint) onData(pkt *net.Packet) {
 // timestamp, path and CE bit. The ACK returns over the same path at high
 // priority, as in the paper's switch configuration.
 func (ep *Endpoint) sendAck(data *net.Packet, r *rcvFlow) {
-	ack := &net.Packet{
+	ack := ep.tr.Net.AllocPacket()
+	*ack = net.Packet{
 		Kind:     net.Ack,
 		Flow:     data.Flow,
 		Src:      data.Dst,

@@ -39,7 +39,8 @@ func (f *Flow) sendSegment(seq int64, payload int, retx bool) {
 	}
 	f.CurPath = path
 	f.started = true
-	pkt := &net.Packet{
+	pkt := ep.tr.Net.AllocPacket()
+	*pkt = net.Packet{
 		Kind:    net.Data,
 		Flow:    f.ID,
 		Src:     f.Src,
@@ -90,8 +91,13 @@ func (f *Flow) rto() sim.Time {
 
 func (f *Flow) armRTO() {
 	eng := f.ep.tr.Eng
-	f.rtoTimer = eng.Schedule(f.rto(), f.onRTO)
+	// ScheduleCall with a package-level trampoline: no closure and (with a
+	// warm engine free list) no event allocation per re-arm, which happens
+	// on every ACK that advances the window.
+	f.rtoTimer = eng.ScheduleCall(f.rto(), flowRTO, f, nil)
 }
+
+func flowRTO(a1, _ any) { a1.(*Flow).onRTO() }
 
 func (f *Flow) rearmRTO() {
 	if f.rtoTimer != nil {

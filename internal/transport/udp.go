@@ -50,7 +50,8 @@ func (u *UDPSender) sendNext() {
 		u.idx++
 	}
 	wire := u.Payload + net.HeaderBytes
-	u.Host.Send(&net.Packet{
+	pkt := u.Host.Network().AllocPacket()
+	*pkt = net.Packet{
 		Kind:    net.UDPData,
 		Flow:    u.FlowID,
 		Src:     u.Host.ID,
@@ -60,11 +61,14 @@ func (u *UDPSender) sendNext() {
 		Wire:    wire,
 		Path:    path,
 		SentAt:  u.Eng.Now(),
-	})
+	}
+	u.Host.Send(pkt)
 	u.Sent++
 	interval := sim.Time(int64(wire) * 8 * sim.Second / u.RateBps)
-	u.Eng.Schedule(interval, u.sendNext)
+	u.Eng.ScheduleCall(interval, udpSendNext, u, nil)
 }
+
+func udpSendNext(a1, _ any) { a1.(*UDPSender).sendNext() }
 
 // UDPSink counts received UDP bytes at a host, for throughput measurements.
 type UDPSink struct {

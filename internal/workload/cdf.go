@@ -29,6 +29,10 @@ type CDF struct {
 	points []CDFPoint
 }
 
+// maxCDFBytes caps flow sizes at 1 PiB: far above any real distribution, and
+// small enough that interpolation arithmetic in Sample can never overflow.
+const maxCDFBytes = int64(1) << 50
+
 // NewCDF validates and builds a distribution. Points must be sorted by
 // bytes, have non-decreasing probabilities, and end at probability 1.
 func NewCDF(name string, points []CDFPoint) (*CDF, error) {
@@ -36,8 +40,13 @@ func NewCDF(name string, points []CDFPoint) (*CDF, error) {
 		return nil, fmt.Errorf("workload: CDF %q needs at least 2 points", name)
 	}
 	for i, p := range points {
-		if p.Prob < 0 || p.Prob > 1 {
+		// The negated comparison also rejects NaN, which would otherwise
+		// slip through and poison Sample/Mean.
+		if !(p.Prob >= 0 && p.Prob <= 1) {
 			return nil, fmt.Errorf("workload: CDF %q point %d probability %v out of range", name, i, p.Prob)
+		}
+		if p.Bytes < 0 || p.Bytes > maxCDFBytes {
+			return nil, fmt.Errorf("workload: CDF %q point %d size %d out of range [0, 2^50]", name, i, p.Bytes)
 		}
 		if i > 0 {
 			if p.Bytes <= points[i-1].Bytes {
@@ -191,6 +200,11 @@ func ParseCDF(name string, r io.Reader) (*CDF, error) {
 		bytes, err := strconv.ParseFloat(fields[0], 64)
 		if err != nil {
 			return nil, fmt.Errorf("workload: %s line %d: bad size %q", name, line, fields[0])
+		}
+		// Range-check before the int64 conversion: converting an
+		// out-of-range float is implementation-defined in Go.
+		if !(bytes >= 0 && bytes <= float64(maxCDFBytes)) {
+			return nil, fmt.Errorf("workload: %s line %d: size %v out of range [0, 2^50]", name, line, bytes)
 		}
 		prob, err := strconv.ParseFloat(fields[len(fields)-1], 64)
 		if err != nil {

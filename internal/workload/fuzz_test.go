@@ -1,0 +1,45 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hermes-repro/hermes/internal/sim"
+)
+
+// FuzzParseCDF feeds arbitrary text through the CDF parser. Any distribution
+// the parser accepts must then behave: samples stay inside the distribution's
+// own support, the mean lands inside the support, and the same seed
+// reproduces the same draw sequence.
+func FuzzParseCDF(f *testing.F) {
+	f.Add("1000 0\n10000 0.5\n30000 1\n", int64(1))
+	f.Add("# comment\n100 100 0\n250 250 0.2\n900 900 1\n", int64(42))
+	f.Add("5 0\n6 1\n", int64(7))
+	f.Add("100 0\n200 0.5\n300 0.5\n400 1\n", int64(9)) // flat segment
+	f.Fuzz(func(t *testing.T, text string, seed int64) {
+		c, err := ParseCDF("fuzz", strings.NewReader(text))
+		if err != nil {
+			return // rejected input: nothing further to check
+		}
+		pts := c.Points()
+		lo, hi := pts[0].Bytes, pts[len(pts)-1].Bytes
+		if m := c.Mean(); !(m >= float64(lo) && m <= float64(hi)) {
+			t.Fatalf("mean %v outside support [%d, %d]", m, lo, hi)
+		}
+		rng := sim.NewRNG(seed)
+		draws := make([]int64, 64)
+		for i := range draws {
+			s := c.Sample(rng)
+			if s < lo || s > hi {
+				t.Fatalf("sample %d outside support [%d, %d]", s, lo, hi)
+			}
+			draws[i] = s
+		}
+		rng2 := sim.NewRNG(seed)
+		for i := range draws {
+			if s := c.Sample(rng2); s != draws[i] {
+				t.Fatalf("draw %d not deterministic: %d vs %d", i, s, draws[i])
+			}
+		}
+	})
+}

@@ -1,10 +1,13 @@
 package hermes
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/hermes-repro/hermes/internal/core"
 	"github.com/hermes-repro/hermes/internal/net"
@@ -32,17 +35,62 @@ type SeedStats struct {
 	Min, Max float64
 }
 
+// ParallelOptions tunes multi-seed sweep execution.
+type ParallelOptions struct {
+	// Workers bounds the number of simulations running concurrently.
+	// <=0 uses the process default (SetDefaultWorkers, else GOMAXPROCS).
+	Workers int
+}
+
+// defaultWorkers is the process-wide worker cap installed by
+// SetDefaultWorkers (0 = GOMAXPROCS). hermes-bench plumbs its -workers flag
+// here so every sweep in the process honors it.
+var defaultWorkers atomic.Int64
+
+// SetDefaultWorkers sets the process-wide default worker-pool size used by
+// RunSeeds/RunParallel when the caller passes no explicit option. n <= 0
+// restores the GOMAXPROCS default.
+func SetDefaultWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+func (o ParallelOptions) workers(jobs int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = int(defaultWorkers.Load())
+	}
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // RunSeeds executes the same experiment under each seed and returns the
 // per-seed results plus aggregate statistics of the overall mean FCT (in
 // milliseconds). Use it to separate scheme effects from arrival-pattern
-// noise; the paper averages five runs (§5.1). Runs execute in parallel —
-// each simulation is single-threaded and fully isolated, so results are
-// identical to sequential execution.
+// noise; the paper averages five runs (§5.1). Runs execute on a parallel
+// worker pool — each simulation is single-threaded and fully isolated, so
+// results are identical to sequential execution.
 func RunSeeds(cfg Config, seeds []int64) ([]*Result, SeedStats, error) {
+	return RunSeedsOpts(context.Background(), cfg, seeds, ParallelOptions{})
+}
+
+// RunSeedsOpts is RunSeeds with a cancellation context and explicit pool
+// options.
+func RunSeedsOpts(ctx context.Context, cfg Config, seeds []int64, opts ParallelOptions) ([]*Result, SeedStats, error) {
 	if len(seeds) == 0 {
 		return nil, SeedStats{}, fmt.Errorf("hermes: RunSeeds needs at least one seed")
 	}
-	results, err := RunParallel(cfg, seeds)
+	results, err := RunParallelOpts(ctx, cfg, seeds, opts)
 	if err != nil {
 		return nil, SeedStats{}, err
 	}
@@ -67,39 +115,89 @@ func RunSeeds(cfg Config, seeds []int64) ([]*Result, SeedStats, error) {
 	return results, st, nil
 }
 
-// RunParallel executes one experiment per seed concurrently, bounded by
-// GOMAXPROCS workers. Each run owns its engine and RNG, so the results are
-// bit-identical to running them one at a time.
+// RunParallel executes one experiment per seed on a worker pool bounded by
+// GOMAXPROCS. Each run owns its engine, RNG and telemetry, so the results
+// are bit-identical to running the seeds one at a time.
 func RunParallel(cfg Config, seeds []int64) ([]*Result, error) {
+	return RunParallelOpts(context.Background(), cfg, seeds, ParallelOptions{})
+}
+
+// RunParallelOpts executes one experiment per seed on a sharded worker pool.
+//
+//   - Determinism: results[i] always corresponds to seeds[i], and every run
+//     is bit-identical to a sequential Run with the same Config+Seed (worker
+//     count and scheduling order cannot leak into results).
+//   - Isolation: each worker goroutine runs whole simulations; a run's
+//     engine, RNG, metric registry, audit log and sweeper are all owned by
+//     that run, so telemetry from concurrent seeds never mixes.
+//   - Cancellation: cancelling ctx aborts queued seeds and interrupts
+//     in-flight simulations at their next scheduling slice; the first real
+//     simulation error cancels the rest of the sweep.
+func RunParallelOpts(ctx context.Context, cfg Config, seeds []int64, opts ParallelOptions) ([]*Result, error) {
 	if cfg.TraceWriter != nil {
 		return nil, fmt.Errorf("hermes: RunParallel cannot share one TraceWriter across runs; trace runs individually")
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	results := make([]*Result, len(seeds))
+	if len(seeds) == 0 {
+		return results, nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
 	errs := make([]error, len(seeds))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	jobs := make(chan int)
 	var wg sync.WaitGroup
-	for i, s := range seeds {
-		i, s := i, s
+	for w := opts.workers(len(seeds)); w > 0; w-- {
 		wg.Add(1)
-		sem <- struct{}{}
 		go func() {
 			defer wg.Done()
-			defer func() { <-sem }()
-			c := cfg
-			c.Seed = s
-			res, err := Run(c)
-			if err != nil {
-				errs[i] = fmt.Errorf("seed %d: %w", s, err)
-				return
+			for i := range jobs {
+				c := cfg
+				c.Seed = seeds[i]
+				c.ctx = ctx
+				res, err := Run(c)
+				if err != nil {
+					errs[i] = fmt.Errorf("seed %d: %w", seeds[i], err)
+					cancel() // fail fast: stop feeding and interrupt peers
+					continue
+				}
+				results[i] = res
 			}
-			results[i] = res
 		}()
 	}
+feed:
+	for i := range seeds {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
 	wg.Wait()
+
+	// Report the first real simulation failure (deterministically, by seed
+	// order) in preference to the cancellations it triggered in peers.
+	var firstCancel error
 	for _, err := range errs {
-		if err != nil {
+		switch {
+		case err == nil:
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			if firstCancel == nil {
+				firstCancel = err
+			}
+		default:
 			return nil, err
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if firstCancel != nil {
+		return nil, firstCancel
 	}
 	return results, nil
 }
