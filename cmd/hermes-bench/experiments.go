@@ -34,6 +34,7 @@ var (
 	telemetryOn bool
 	reportDir   string
 	auditDir    string
+	traceDir    string
 	artifactSeq int
 	artifactMu  sync.Mutex
 )
@@ -41,6 +42,11 @@ var (
 func mustRun(cfg hermes.Config) *hermes.Result {
 	if telemetryOn {
 		cfg.Telemetry = true
+	}
+	if traceDir != "" {
+		// Per-run in-memory recorder (Result.Trace): safe even when a sweep
+		// runs data points concurrently, unlike a shared TraceWriter.
+		cfg.Trace = true
 	}
 	res, err := hermes.Run(cfg)
 	if err != nil {
@@ -50,10 +56,10 @@ func mustRun(cfg hermes.Config) *hermes.Result {
 	return res
 }
 
-// saveRunArtifacts writes the per-run report and audit log when -report or
-// -audit named directories.
+// saveRunArtifacts writes the per-run report, audit log and flow trace when
+// -report, -audit or -trace named directories.
 func saveRunArtifacts(cfg hermes.Config, res *hermes.Result) {
-	if reportDir == "" && auditDir == "" {
+	if reportDir == "" && auditDir == "" && traceDir == "" {
 		return
 	}
 	artifactMu.Lock()
@@ -82,6 +88,16 @@ func saveRunArtifacts(cfg hermes.Config, res *hermes.Result) {
 			log.Fatal(err)
 		}
 		if err := res.Telemetry.Audit.WriteJSONL(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+	}
+	if traceDir != "" && res.Trace != nil {
+		f, err := os.Create(filepath.Join(traceDir, base+".trace.jsonl"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := res.Trace.WriteJSONL(f); err != nil {
 			log.Fatal(err)
 		}
 		f.Close()

@@ -125,6 +125,7 @@ func main() {
 		telem   = flag.Bool("telemetry", false, "run every experiment with telemetry enabled")
 		repDir  = flag.String("report", "", "write one telemetry report JSON per run into this directory (implies -telemetry)")
 		audDir  = flag.String("audit", "", "write one Hermes audit JSONL per run into this directory (implies -telemetry)")
+		trcDir  = flag.String("trace", "", "write one flow-trace JSONL per run into this directory (analyze with hermes-trace)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -143,7 +144,7 @@ func main() {
 	for _, d := range []struct {
 		flag string
 		dst  *string
-	}{{*repDir, &reportDir}, {*audDir, &auditDir}} {
+	}{{*repDir, &reportDir}, {*audDir, &auditDir}, {*trcDir, &traceDir}} {
 		if d.flag == "" {
 			continue
 		}

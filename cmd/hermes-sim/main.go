@@ -40,16 +40,17 @@ func main() {
 		cutLeaf  = flag.Int("cut-leaf", 0, "leaf side of the cut link")
 		cutSpine = flag.Int("cut-spine", 0, "spine side of the cut link")
 
-		visibility = flag.Bool("visibility", false, "measure Table 2 visibility")
-		jsonOut    = flag.Bool("json", false, "emit JSON instead of text")
-		traceFile  = flag.String("trace", "", "write per-flow JSONL trace to this file")
-		telem      = flag.Bool("telemetry", false, "enable the telemetry registry, sweeper and audit log")
-		reportFile = flag.String("report", "", "write the full run report here (.csv = CSV, else JSON; implies -telemetry)")
-		auditFile  = flag.String("audit", "", "write the Hermes decision audit log as JSONL (implies -telemetry)")
-		sweepUs    = flag.Int64("sweep-us", 0, "telemetry sweep interval in microseconds (0 = 1000)")
-		subflows   = flag.Int("mptcp-subflows", 4, "subflows per logical flow (mptcp scheme)")
-		checks     = flag.Bool("checks", false, "arm the simulation invariant harness (engine + packet-conservation checks)")
-		configFile = flag.String("config", "", "load the full experiment Config from a JSON file (overrides other flags)")
+		visibility   = flag.Bool("visibility", false, "measure Table 2 visibility")
+		jsonOut      = flag.Bool("json", false, "emit JSON instead of text")
+		traceFile    = flag.String("trace", "", "write per-flow JSONL trace to this file (analyze with hermes-trace)")
+		perfettoFile = flag.String("perfetto", "", "write the trace as Chrome trace-event JSON (open in ui.perfetto.dev)")
+		telem        = flag.Bool("telemetry", false, "enable the telemetry registry, sweeper and audit log")
+		reportFile   = flag.String("report", "", "write the full run report here (.csv = CSV, else JSON; implies -telemetry)")
+		auditFile    = flag.String("audit", "", "write the Hermes decision audit log as JSONL (implies -telemetry)")
+		sweepUs      = flag.Int64("sweep-us", 1000, "telemetry sweep interval in microseconds")
+		subflows     = flag.Int("mptcp-subflows", 4, "subflows per logical flow (mptcp scheme)")
+		checks       = flag.Bool("checks", false, "arm the simulation invariant harness (engine + packet-conservation checks)")
+		configFile   = flag.String("config", "", "load the full experiment Config from a JSON file (overrides other flags)")
 	)
 	flag.Parse()
 
@@ -66,7 +67,11 @@ func main() {
 		log.Fatalf("unknown topology %q", *topoName)
 	}
 
-	var traceW *os.File
+	if *sweepUs <= 0 {
+		log.Fatalf("-sweep-us %d: the sweep interval must be a positive number of microseconds", *sweepUs)
+	}
+
+	var traceW, perfettoW *os.File
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
 		if err != nil {
@@ -74,6 +79,14 @@ func main() {
 		}
 		defer f.Close()
 		traceW = f
+	}
+	if *perfettoFile != "" {
+		f, err := os.Create(*perfettoFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		perfettoW = f
 	}
 
 	cfg := hermes.Config{
@@ -102,6 +115,9 @@ func main() {
 	if traceW != nil {
 		cfg.TraceWriter = traceW
 	}
+	if perfettoW != nil {
+		cfg.PerfettoWriter = perfettoW
+	}
 	if *reportFile != "" || *auditFile != "" {
 		*telem = true
 	}
@@ -119,6 +135,7 @@ func main() {
 			log.Fatalf("parse %s: %v", *configFile, err)
 		}
 		fileCfg.TraceWriter = cfg.TraceWriter
+		fileCfg.PerfettoWriter = cfg.PerfettoWriter
 		if *checks {
 			fileCfg.Checks = true
 		}
@@ -137,7 +154,13 @@ func main() {
 		log.Fatal(err)
 	}
 	if res.TraceCounts != nil {
-		fmt.Fprintf(os.Stderr, "trace: %v written to %s\n", res.TraceCounts, *traceFile)
+		fmt.Fprintf(os.Stderr, "trace: %v\n", res.TraceCounts)
+		if *traceFile != "" {
+			fmt.Fprintf(os.Stderr, "trace JSONL written to %s\n", *traceFile)
+		}
+		if *perfettoFile != "" {
+			fmt.Fprintf(os.Stderr, "perfetto trace written to %s (open in ui.perfetto.dev)\n", *perfettoFile)
+		}
 	}
 
 	var report *hermes.Report

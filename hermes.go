@@ -214,9 +214,19 @@ type Config struct {
 	MPTCPSubflows int
 
 	// TraceWriter, when non-nil, receives a JSONL stream of per-flow load
-	// balancing events (placements, path changes, retransmits, timeouts)
-	// after the run completes.
+	// balancing events and path-residency spans (placements, path changes,
+	// retransmits, timeouts, ECN marks, drops) after the run completes.
 	TraceWriter io.Writer `json:"-"`
+	// PerfettoWriter, when non-nil, receives the same trace as Chrome
+	// trace-event JSON, loadable in Perfetto (ui.perfetto.dev) or
+	// chrome://tracing: flows as tracks, spans as slices, transport signals
+	// and Hermes verdicts as instants.
+	PerfettoWriter io.Writer `json:"-"`
+	// Trace enables trace recording without any writer: the recorder is
+	// returned on Result.Trace for in-process analysis. Unlike the writer
+	// fields it is safe under RunParallel — each run owns its recorder.
+	// (omitempty keeps reports from untraced runs byte-stable.)
+	Trace bool `json:",omitempty"`
 	// TraceMaxEvents bounds trace memory (0 = 1e6 events).
 	TraceMaxEvents int
 
@@ -286,6 +296,11 @@ type Result struct {
 	// Config.Telemetry was set (nil otherwise). Use BuildReport to turn it
 	// into a serializable Report.
 	Telemetry *telemetry.RunData `json:"-"`
+
+	// Trace holds the full trace recorder — events, path-residency spans,
+	// per-flow per-hop delay aggregates and Hermes verdicts — when tracing
+	// was enabled (nil otherwise).
+	Trace *trace.Recorder `json:"-"`
 }
 
 func (t Topology) toNet() net.Config {
@@ -376,7 +391,8 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	var tracer *trace.Recorder
-	if cfg.TraceWriter != nil {
+	var delayAcct *net.DelayAccount
+	if cfg.TraceWriter != nil || cfg.PerfettoWriter != nil || cfg.Trace {
 		max := cfg.TraceMaxEvents
 		if max <= 0 {
 			max = 1_000_000
@@ -386,6 +402,19 @@ func Run(cfg Config) (*Result, error) {
 		wiring.balancerFor = func(h *net.Host) transport.Balancer {
 			return trace.Wrap(inner(h), tracer, eng)
 		}
+		delayAcct = nw.EnableDelayAccount()
+		nw.SetTraceHooks(
+			func(p *net.Packet) {
+				if p.Kind == net.Data {
+					tracer.NoteDrop(eng.Now(), p.Flow, p.Path)
+				}
+			},
+			func(p *net.Packet) {
+				if p.Kind == net.Data {
+					tracer.NoteMark(eng.Now(), p.Flow, p.Path)
+				}
+			},
+		)
 	}
 	tr := transport.New(nw, opts, wiring.balancerFor)
 	if rd != nil {
@@ -524,9 +553,33 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	if tracer != nil {
-		if err := tracer.WriteJSONL(cfg.TraceWriter); err != nil {
-			return nil, err
+		tracer.CloseOpenSpans(eng.Now())
+		tracer.Meta = trace.Meta{
+			Schema:        trace.SchemaV2,
+			Scheme:        string(cfg.Scheme),
+			Workload:      cfg.Workload,
+			Load:          cfg.Load,
+			Seed:          cfg.Seed,
+			Failure:       string(cfg.Failure.Kind),
+			BaseRTTNs:     int64(baseRTT),
+			HostRateBps:   hostRate,
+			SimDurationNs: int64(eng.Now()),
 		}
+		tracer.SetFlowHops(delayAcct)
+		if rd != nil {
+			tracer.AnnotateFromAudit(rd.Audit.Entries())
+		}
+		if cfg.TraceWriter != nil {
+			if err := tracer.WriteJSONL(cfg.TraceWriter); err != nil {
+				return nil, err
+			}
+		}
+		if cfg.PerfettoWriter != nil {
+			if err := tracer.WritePerfetto(cfg.PerfettoWriter); err != nil {
+				return nil, err
+			}
+		}
+		res.Trace = tracer
 		res.TraceCounts = map[string]int{}
 		for _, e := range tracer.Events {
 			res.TraceCounts[string(e.Kind)]++

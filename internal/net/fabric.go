@@ -54,6 +54,9 @@ func (h *Host) Network() *Network { return h.net }
 
 func (h *Host) deliver(pkt *Packet) {
 	h.net.delivered++
+	if h.net.acct != nil {
+		h.net.acct.observe(pkt)
+	}
 	if fn := h.handlers[pkt.Kind]; fn != nil {
 		fn(pkt)
 	}
@@ -95,6 +98,9 @@ func (s *Switch) Downlink(i int) *Port { return s.down[i] }
 func (s *Switch) receive(pkt *Packet) {
 	if s.DropFn != nil && s.DropFn(pkt) {
 		s.Drops++
+		if s.net.onSwitchDrop != nil {
+			s.net.onSwitchDrop(pkt)
+		}
 		s.net.FreePacket(pkt)
 		return
 	}
@@ -217,6 +223,26 @@ type Network struct {
 	// Conservation counters (plain adds; always on).
 	injected  uint64 // packets entering the fabric via Host.Send
 	delivered uint64 // packets reaching their destination host
+
+	// acct, when non-nil, aggregates per-flow per-hop delay decomposition at
+	// every host delivery (EnableDelayAccount).
+	acct *DelayAccount
+	// onSwitchDrop mirrors the per-port drop hook for silent DropFn drops
+	// (SetTraceHooks).
+	onSwitchDrop func(*Packet)
+}
+
+// SetTraceHooks installs fabric-wide observers for the two packet fates the
+// trace layer cannot see through ACKs: drops (drop-tail, down links and
+// silent switch drops) and ECN marks at the marking port. Either hook may be
+// nil. Off by default; each costs one nil check on its own (already rare)
+// path, keeping the forwarding hot path untouched.
+func (n *Network) SetTraceHooks(onDrop, onMark func(*Packet)) {
+	n.onSwitchDrop = onDrop
+	n.ForEachPort(func(p *Port) {
+		p.onDrop = onDrop
+		p.onMark = onMark
+	})
 }
 
 // AllocPacket returns a packet from the network's free list (or a fresh

@@ -80,7 +80,30 @@ type Packet struct {
 	FbValid  bool
 	FbPath   uint8
 	FbMetric uint8
+
+	// Delay decomposition (FCT attribution). Ports stamp these as the packet
+	// crosses the fabric: plain field writes on pooled structs, so the hot
+	// path stays allocation-free. All values accumulate across hops and are
+	// reset by the whole-struct overwrite every sender performs.
+	EnqAt   sim.Time // enqueue instant on the port currently holding the packet
+	QueueNs sim.Time // total time spent waiting in output queues
+	SerNs   sim.Time // total serialization (transmission) time
+	PropNs  sim.Time // total propagation time
+	Hops    uint8    // store-and-forward hops traversed so far
+	// HopQueue records the queue wait of each hop in traversal order. For
+	// inter-leaf traffic the indices are host->leaf, leaf->spine,
+	// spine->leaf, leaf->host; intra-leaf traffic uses the first two.
+	HopQueue [MaxHops]sim.Time
+
+	// EchoQueue echoes the acked data packet's total forward queueing delay
+	// (its QueueNs at delivery) back to the sender, the per-packet signal
+	// the FCT attribution spans aggregate.
+	EchoQueue sim.Time
 }
+
+// MaxHops is the longest store-and-forward path through a leaf-spine fabric
+// (host->leaf, leaf->spine, spine->leaf, leaf->host).
+const MaxHops = 4
 
 // IsHighPriority reports whether the packet travels in the strict
 // high-priority queue (pure ACKs and probe echoes, per §4 of the paper).

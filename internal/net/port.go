@@ -34,6 +34,12 @@ type Port struct {
 	// (after the DRE update). CONGA uses it to stamp congestion metrics.
 	OnTx func(*Packet)
 
+	// onDrop/onMark, when non-nil, observe every packet this port drops or
+	// ECN-marks. Installed fabric-wide by Network.SetTraceHooks; each costs
+	// one nil check on its (rare) path when tracing is off.
+	onDrop func(*Packet)
+	onMark func(*Packet)
+
 	dre DRE
 
 	// Counters.
@@ -184,6 +190,7 @@ func (p *Port) Enqueue(pkt *Packet) {
 		p.drop(pkt)
 		return
 	}
+	pkt.EnqAt = p.eng.Now()
 	if pkt.IsHighPriority() {
 		p.hi.push(pkt)
 		p.hiBytes += pkt.Wire
@@ -201,6 +208,9 @@ func (p *Port) Enqueue(pkt *Packet) {
 		if p.ecnK > 0 && pkt.ECT && p.loBytes > p.ecnK {
 			pkt.CE = true
 			p.ECNMarks++
+			if p.onMark != nil {
+				p.onMark(pkt)
+			}
 		}
 	}
 	p.holding++
@@ -209,8 +219,12 @@ func (p *Port) Enqueue(pkt *Packet) {
 	}
 }
 
-// drop hands a refused packet to the pool, if any.
+// drop hands a refused packet to the pool, if any, after notifying the trace
+// hook.
 func (p *Port) drop(pkt *Packet) {
+	if p.onDrop != nil {
+		p.onDrop(pkt)
+	}
 	if p.recycle != nil {
 		p.recycle(pkt)
 	}
@@ -241,6 +255,16 @@ func (p *Port) transmitNext() {
 	}
 	txTime := sim.Time(int64(pkt.Wire) * 8 * sim.Second / p.rateBps)
 	p.busyTime += txTime
+	// Delay decomposition: this hop's queue wait, serialization and the
+	// propagation leg about to start. Plain adds on pooled fields.
+	wait := now - pkt.EnqAt
+	pkt.QueueNs += wait
+	if pkt.Hops < MaxHops {
+		pkt.HopQueue[pkt.Hops] = wait
+	}
+	pkt.SerNs += txTime
+	pkt.PropNs += p.propDelay
+	pkt.Hops++
 	// Pre-bound callbacks keep the two hottest scheduling sites in the whole
 	// simulator free of closure allocations.
 	p.eng.ScheduleCall(txTime, portTxDone, p, pkt)

@@ -144,6 +144,56 @@ func TestAuditLogCapAndSummary(t *testing.T) {
 	}
 }
 
+// TestAuditLogOverflowTruncation exercises heavy overflow: the cap must hold
+// exactly, every excess entry must be counted, and the JSONL export must end
+// with a marker carrying the full drop count — truncation is never silent.
+func TestAuditLogOverflowTruncation(t *testing.T) {
+	log := NewAuditLog(3)
+	for i := 0; i < 100; i++ {
+		log.Add(AuditEntry{At: int64(i), Kind: AuditPlace, Reason: ReasonFresh, Flow: uint64(i)})
+	}
+	if log.Len() != 3 || log.Dropped() != 97 {
+		t.Fatalf("len=%d dropped=%d, want 3/97", log.Len(), log.Dropped())
+	}
+	// The kept entries are the first three, not an arbitrary window.
+	for i, e := range log.Entries() {
+		if e.Flow != uint64(i) {
+			t.Fatalf("entry %d = flow %d, want the earliest entries kept", i, e.Flow)
+		}
+	}
+	if s := log.Summary(); s.Dropped != 97 || s.Entries != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+
+	var buf bytes.Buffer
+	if err := log.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("jsonl lines = %d, want 3 entries + marker", len(lines))
+	}
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, `"kind":"truncated"`) || !strings.Contains(last, `"dropped":97`) {
+		t.Fatalf("marker = %q", last)
+	}
+
+	// The zero/negative cap falls back to the documented default.
+	d := NewAuditLog(0)
+	if d.max != DefaultAuditMaxEntries {
+		t.Fatalf("default cap = %d", d.max)
+	}
+	// An uncapped-but-unfilled log emits no marker.
+	buf.Reset()
+	d.Add(AuditEntry{Kind: AuditVerdict, Reason: ReasonBlackhole})
+	if err := d.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "truncated") {
+		t.Fatal("marker emitted without overflow")
+	}
+}
+
 func TestReportDeterministicBytes(t *testing.T) {
 	build := func() *Report {
 		eng := sim.NewEngine()

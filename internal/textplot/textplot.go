@@ -126,6 +126,68 @@ func Line(w io.Writer, title string, xs []float64, height int) error {
 	return nil
 }
 
+// heatRamp is the intensity scale for Heatmap cells, lightest to darkest.
+var heatRamp = []byte(" .:-=+*#%@")
+
+// Heatmap renders rows of values as one character cell each, shaded by
+// intensity relative to the global maximum:
+//
+//	leaf0->spine0.0 |..::-==++**##%%@@|
+//	leaf0->spine0.1 |      ..  .::-=  |
+//
+// Rows longer than width are bucket-averaged down (Downsample); the legend
+// line maps the ramp to the value range.
+func Heatmap(w io.Writer, title string, rows []Series, width int) error {
+	if width <= 0 {
+		width = 60
+	}
+	var max float64
+	labelW := 0
+	for _, r := range rows {
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+		for _, v := range r.Values {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if title != "" {
+		if _, err := fmt.Fprintln(w, title); err != nil {
+			return err
+		}
+	}
+	if max <= 0 || len(rows) == 0 {
+		_, err := fmt.Fprintln(w, "(no data)")
+		return err
+	}
+	for _, r := range rows {
+		vals := Downsample(r.Values, width)
+		cells := make([]byte, len(vals))
+		for i, v := range vals {
+			idx := int(v / max * float64(len(heatRamp)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(heatRamp) {
+				idx = len(heatRamp) - 1
+			}
+			// Any nonzero value gets at least the faintest mark.
+			if idx == 0 && v > 0 {
+				idx = 1
+			}
+			cells[i] = heatRamp[idx]
+		}
+		if _, err := fmt.Fprintf(w, "%-*s |%s|\n", labelW, r.Label, cells); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%-*s  scale: %q = 0 .. %q = %.3g\n",
+		labelW, "", heatRamp[0], heatRamp[len(heatRamp)-1], max)
+	return err
+}
+
 // Downsample reduces xs to at most n points by bucket-averaging, so long
 // time series fit a terminal width.
 func Downsample(xs []float64, n int) []float64 {

@@ -65,6 +65,53 @@ func TestLine(t *testing.T) {
 	}
 }
 
+func TestHeatmap(t *testing.T) {
+	var sb strings.Builder
+	err := Heatmap(&sb, "occupancy", []Series{
+		{Label: "leaf0->spine0", Values: []float64{0, 1, 2, 3, 4}},
+		{Label: "leaf0->spine1", Values: []float64{4, 4, 4, 4, 4}},
+	}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "occupancy") {
+		t.Fatal("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title + 2 rows + legend
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// The saturated row is all darkest cells; the ramp row starts blank.
+	if !strings.Contains(lines[2], "|@@@@@|") {
+		t.Fatalf("saturated row wrong: %q", lines[2])
+	}
+	if !strings.Contains(lines[1], "| ") || !strings.Contains(lines[1], "@|") {
+		t.Fatalf("ramp row wrong: %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "scale:") {
+		t.Fatalf("legend missing: %q", lines[3])
+	}
+
+	// Nonzero values never render as blank cells.
+	sb.Reset()
+	if err := Heatmap(&sb, "", []Series{{Label: "x", Values: []float64{0.001, 100}}}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "| @|") {
+		t.Fatalf("tiny value rendered blank:\n%s", sb.String())
+	}
+
+	// Zero data degrades gracefully.
+	sb.Reset()
+	if err := Heatmap(&sb, "", []Series{{Label: "x", Values: []float64{0}}}, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no data") {
+		t.Fatal("zero data not handled")
+	}
+}
+
 func TestDownsample(t *testing.T) {
 	xs := make([]float64, 100)
 	for i := range xs {

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"github.com/hermes-repro/hermes/internal/net"
+	"github.com/hermes-repro/hermes/internal/sim"
+	"github.com/hermes-repro/hermes/internal/telemetry"
+)
+
+// SchemaV2 identifies the span-bearing trace format. v1 traces (flat event
+// lists with no meta line) are still readable; they simply lack spans and
+// calibration constants, so attribution degrades to event counting.
+const SchemaV2 = "hermes-trace/v2"
+
+// Meta is the trace header: which run produced it and the calibration
+// constants attribution needs. All times are nanoseconds, rates bits/s.
+type Meta struct {
+	Schema   string  `json:"schema"`
+	Scheme   string  `json:"scheme,omitempty"`
+	Workload string  `json:"workload,omitempty"`
+	Load     float64 `json:"load,omitempty"`
+	Seed     int64   `json:"seed,omitempty"`
+	Failure  string  `json:"failure,omitempty"`
+	// BaseRTTNs is the unloaded round-trip across the fabric; the floor any
+	// FCT decomposition subtracts before blaming queues.
+	BaseRTTNs int64 `json:"base_rtt_ns,omitempty"`
+	// HostRateBps is the access-link rate, fixing the ideal serialization
+	// time of a flow of a given size.
+	HostRateBps   int64 `json:"host_rate_bps,omitempty"`
+	SimDurationNs int64 `json:"sim_duration_ns,omitempty"`
+}
+
+// FlowHops is the fabric's delay decomposition for one flow: where its
+// packets spent time, hop by hop. Hop 0 is the host->leaf access link, hop
+// net.MaxHops-1 the final leaf->host link. This is ground truth measured at
+// every output port (net.DelayAccount), complementing the span view built
+// from ACK echoes.
+type FlowHops struct {
+	Flow       uint64              `json:"flow"`
+	DataPkts   uint64              `json:"data_pkts"`
+	RetxPkts   uint64              `json:"retx_pkts,omitempty"`
+	MarkedPkts uint64              `json:"marked_pkts,omitempty"`
+	QueueNs    int64               `json:"queue_ns"`
+	SerNs      int64               `json:"ser_ns"`
+	PropNs     int64               `json:"prop_ns"`
+	HopQueueNs [net.MaxHops]int64  `json:"hop_queue_ns"`
+	HopPkts    [net.MaxHops]uint64 `json:"hop_pkts"`
+	AckPkts    uint64              `json:"ack_pkts,omitempty"`
+	AckQueueNs int64               `json:"ack_queue_ns,omitempty"`
+}
+
+// FlowHopsFrom converts one fabric aggregate into its trace record.
+func FlowHopsFrom(fd *net.FlowDelay) FlowHops {
+	fh := FlowHops{
+		Flow:       fd.Flow,
+		DataPkts:   fd.DataPkts,
+		RetxPkts:   fd.RetxPkts,
+		MarkedPkts: fd.MarkedPkts,
+		QueueNs:    int64(fd.QueueNs),
+		SerNs:      int64(fd.SerNs),
+		PropNs:     int64(fd.PropNs),
+		AckPkts:    fd.AckPkts,
+		AckQueueNs: int64(fd.AckQueueNs),
+	}
+	for i := 0; i < net.MaxHops; i++ {
+		fh.HopQueueNs[i] = int64(fd.HopQueueNs[i])
+		fh.HopPkts[i] = fd.HopPkts[i]
+	}
+	return fh
+}
+
+// SetFlowHops stores the fabric's per-flow aggregates (sorted by flow ID by
+// DelayAccount.Flows, keeping exports deterministic).
+func (r *Recorder) SetFlowHops(acct *net.DelayAccount) {
+	if acct == nil {
+		return
+	}
+	flows := acct.Flows()
+	r.FlowHops = make([]FlowHops, 0, len(flows))
+	for _, fd := range flows {
+		r.FlowHops = append(r.FlowHops, FlowHopsFrom(fd))
+	}
+}
+
+// Verdict is a Hermes monitor path-condemnation, lifted from the audit log
+// so trace consumers see failure detections on the same timeline as flow
+// spans.
+type Verdict struct {
+	At      sim.Time `json:"at_ns"`
+	Host    int      `json:"host"`
+	DstLeaf int      `json:"dst_leaf"`
+	Path    int      `json:"path"`
+	Reason  string   `json:"reason"`
+}
+
+// AnnotateFromAudit correlates the recorder's spans with a Hermes audit log:
+// each placement/reroute entry stamps its Algorithm-1 reason onto the span
+// it opened (matched by flow, target path and time order), and each verdict
+// becomes a Verdict record. Safe to call with entries from any scheme —
+// non-Hermes logs are empty.
+func (r *Recorder) AnnotateFromAudit(entries []telemetry.AuditEntry) {
+	byFlow := map[uint64][]int{}
+	for i, sp := range r.Spans {
+		byFlow[sp.Flow] = append(byFlow[sp.Flow], i)
+	}
+	for _, e := range entries {
+		switch e.Kind {
+		case telemetry.AuditVerdict:
+			r.Verdicts = append(r.Verdicts, Verdict{
+				At: sim.Time(e.At), Host: e.Host, DstLeaf: e.DstLeaf,
+				Path: e.FromPath, Reason: e.Reason,
+			})
+		case telemetry.AuditPlace, telemetry.AuditReroute:
+			if e.Flow == 0 {
+				continue
+			}
+			for _, idx := range byFlow[e.Flow] {
+				sp := &r.Spans[idx]
+				if sp.Reason == "" && sp.Path == e.ToPath && sp.Start >= sim.Time(e.At) {
+					sp.Reason = e.Reason
+					break
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export: the trace opens in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing. Layout:
+//
+//   - process "flows": one thread (track) per flow; each path-residency span
+//     is a complete slice named after its path, with bytes/retx/stall/queue
+//     in args; retx/rto/ecn/drop events are instants on the flow's track.
+//   - process "hermes monitor": one thread per host; each failed-path
+//     verdict is an instant.
+//
+// Timestamps are microseconds of simulation time (the trace-event format's
+// unit); sub-microsecond precision survives as fractions.
+
+const (
+	pidFlows   = 1
+	pidMonitor = 2
+)
+
+type pfEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Cat  string         `json:"cat,omitempty"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type pfDoc struct {
+	TraceEvents     []pfEvent `json:"traceEvents"`
+	DisplayTimeUnit string    `json:"displayTimeUnit"`
+}
+
+func us(ns int64) float64 { return float64(ns) / 1e3 }
+
+// WritePerfetto emits the trace as Chrome trace-event JSON.
+func (r *Recorder) WritePerfetto(w io.Writer) error {
+	doc := pfDoc{DisplayTimeUnit: "ns"}
+	add := func(e pfEvent) { doc.TraceEvents = append(doc.TraceEvents, e) }
+
+	procName := "flows"
+	if r.Meta.Scheme != "" {
+		procName = "flows (" + r.Meta.Scheme + ")"
+	}
+	add(pfEvent{Name: "process_name", Ph: "M", Pid: pidFlows,
+		Args: map[string]any{"name": procName}})
+
+	// Track names: "flow N (size)" where the start event is known.
+	sizes := map[uint64]int64{}
+	for _, e := range r.Events {
+		if e.Kind == FlowStart {
+			sizes[e.Flow] = e.Size
+		}
+	}
+	flows := map[uint64]bool{}
+	for _, s := range r.Spans {
+		flows[s.Flow] = true
+	}
+	for _, e := range r.Events {
+		flows[e.Flow] = true
+	}
+	ids := make([]uint64, 0, len(flows))
+	for f := range flows {
+		ids = append(ids, f)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, f := range ids {
+		name := fmt.Sprintf("flow %d", f)
+		if sz, ok := sizes[f]; ok {
+			name = fmt.Sprintf("flow %d (%d B)", f, sz)
+		}
+		add(pfEvent{Name: "thread_name", Ph: "M", Pid: pidFlows, Tid: f,
+			Args: map[string]any{"name": name}})
+	}
+
+	for _, s := range r.Spans {
+		dur := us(int64(s.End - s.Start))
+		args := map[string]any{
+			"path":        s.Path,
+			"bytes_acked": s.Bytes,
+		}
+		if s.Retx > 0 {
+			args["retx"] = s.Retx
+		}
+		if s.Timeouts > 0 {
+			args["rto"] = s.Timeouts
+			args["stall_ns"] = int64(s.StallNs)
+		}
+		if s.EcnMarks > 0 {
+			args["ecn_marks"] = s.EcnMarks
+		}
+		if s.Drops > 0 {
+			args["drops"] = s.Drops
+		}
+		if s.QueueNs > 0 {
+			args["queue_ns"] = int64(s.QueueNs)
+		}
+		if s.Reason != "" {
+			args["reason"] = s.Reason
+		}
+		add(pfEvent{
+			Name: fmt.Sprintf("path %d", s.Path), Ph: "X", Cat: "span",
+			Ts: us(int64(s.Start)), Dur: &dur, Pid: pidFlows, Tid: s.Flow,
+			Args: args,
+		})
+	}
+
+	for _, e := range r.Events {
+		switch e.Kind {
+		case Retransmit, Timeout, ECNMark, Drop:
+			args := map[string]any{"path": e.Path}
+			if e.Stall > 0 {
+				args["stall_ns"] = int64(e.Stall)
+			}
+			add(pfEvent{Name: string(e.Kind), Ph: "i", Cat: "signal", S: "t",
+				Ts: us(int64(e.At)), Pid: pidFlows, Tid: e.Flow, Args: args})
+		}
+	}
+
+	if len(r.Verdicts) > 0 {
+		add(pfEvent{Name: "process_name", Ph: "M", Pid: pidMonitor,
+			Args: map[string]any{"name": "hermes monitor"}})
+		named := map[uint64]bool{}
+		for _, v := range r.Verdicts {
+			tid := uint64(v.Host)
+			if !named[tid] {
+				named[tid] = true
+				add(pfEvent{Name: "thread_name", Ph: "M", Pid: pidMonitor, Tid: tid,
+					Args: map[string]any{"name": fmt.Sprintf("host %d", v.Host)}})
+			}
+			add(pfEvent{
+				Name: fmt.Sprintf("verdict: %s", v.Reason), Ph: "i", Cat: "verdict",
+				S: "t", Ts: us(int64(v.At)), Pid: pidMonitor, Tid: tid,
+				Args: map[string]any{"path": v.Path, "dst_leaf": v.DstLeaf},
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("trace: perfetto: %w", err)
+	}
+	return nil
+}

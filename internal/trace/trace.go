@@ -1,14 +1,16 @@
 // Package trace records per-flow load balancing timelines — placements,
-// path changes, retransmissions, timeouts and completions — by decorating
-// any transport.Balancer. Traces explain *why* a scheme produced its FCTs:
-// e.g. counting how often CONGA's flowlets actually moved, or which paths a
-// Hermes flow visited before a blackhole verdict.
+// path changes, retransmissions, timeouts, ECN marks, drops and completions
+// — by decorating any transport.Balancer, and aggregates them into
+// path-residency spans: one span per placement→move interval annotated with
+// bytes delivered, retransmissions, ECN marks and summed queue delay.
+// Traces explain *why* a scheme produced its FCTs: e.g. counting how often
+// CONGA's flowlets actually moved, which paths a Hermes flow visited before
+// a blackhole verdict, or how much of a tail flow's completion time was RTO
+// stall versus queueing (see Attribution).
 package trace
 
 import (
-	"encoding/json"
-	"fmt"
-	"io"
+	"sort"
 
 	"github.com/hermes-repro/hermes/internal/sim"
 	"github.com/hermes-repro/hermes/internal/transport"
@@ -24,6 +26,8 @@ const (
 	PathChange Kind = "move"  // subsequent path changes
 	Retransmit Kind = "retx"  // fast retransmit
 	Timeout    Kind = "rto"   // retransmission timeout
+	ECNMark    Kind = "ecn"   // the fabric ECN-marked a data packet
+	Drop       Kind = "drop"  // the fabric dropped a data packet
 	FlowDone   Kind = "done"
 )
 
@@ -35,19 +39,87 @@ type Event struct {
 	Path int      `json:"path"`
 	// Size carries the flow size on start/done events.
 	Size int64 `json:"size,omitempty"`
+	// Stall carries, on rto events, the idle time since the flow last made
+	// cumulative-ACK progress — the stall the timeout ends.
+	Stall sim.Time `json:"stall_ns,omitempty"`
 }
 
-// Recorder accumulates events. The zero value is ready to use. It is not
-// safe for concurrent use; the simulator is single-threaded.
+// Span is one path-residency interval: the stretch of a flow's life between
+// choosing a path and leaving it (or finishing). Spans carry the attribution
+// payload the flat event list cannot: how much was delivered there, how much
+// queueing the delivered packets saw, and how long the flow sat stalled.
+type Span struct {
+	Flow  uint64   `json:"flow"`
+	Path  int      `json:"path"`
+	Start sim.Time `json:"start_ns"`
+	End   sim.Time `json:"end_ns"`
+
+	// Bytes is the payload newly acknowledged while on this path.
+	Bytes int64 `json:"bytes_acked"`
+	// FirstAck is when the first new byte was acknowledged on this path
+	// (0 = none ever was — e.g. a blackholed placement).
+	FirstAck sim.Time `json:"first_ack_ns,omitempty"`
+
+	Retx     int `json:"retx,omitempty"`
+	Timeouts int `json:"rto,omitempty"`
+	// StallNs sums the idle gaps ended by this span's RTO fires (plus the
+	// trailing gap for flows force-closed while stalled).
+	StallNs sim.Time `json:"stall_ns,omitempty"`
+	// EcnMarks counts delivered data packets whose ACK echoed CE.
+	EcnMarks int `json:"ecn,omitempty"`
+	// Drops counts fabric drops of this flow's packets during the span.
+	Drops int `json:"drops,omitempty"`
+	// QueueNs sums the forward-path queue delay echoed by every ACK received
+	// during the span (a per-packet sum, not wall-clock time).
+	QueueNs sim.Time `json:"queue_ns,omitempty"`
+
+	// Reason is the audit-log reason the flow entered this path ("fresh",
+	// "timeout", "failure", "congestion"); filled by AnnotateFromAudit for
+	// Hermes runs, empty otherwise.
+	Reason string `json:"reason,omitempty"`
+	// Final marks the span that ended with flow completion; a last span
+	// without Final belongs to a flow force-closed at the simulation horizon.
+	Final bool `json:"final,omitempty"`
+}
+
+// flowState is the recorder's live bookkeeping for one open flow.
+type flowState struct {
+	span         int // index into Spans, -1 when none is open
+	path         int
+	placed       bool
+	size         int64
+	start        sim.Time
+	lastProgress sim.Time
+}
+
+// Recorder accumulates events and spans. The zero value is ready to use. It
+// is not safe for concurrent use; the simulator is single-threaded.
 type Recorder struct {
 	Events []Event
+	Spans  []Span
 
-	// MaxEvents bounds memory; once reached, further events only bump
-	// Dropped (0 = unlimited).
+	// MaxEvents bounds memory; once reached, further events (and spans,
+	// independently) only bump the drop counters (0 = unlimited).
 	MaxEvents int
 	// Dropped counts events discarded after the MaxEvents cap was hit, so a
 	// truncated trace is distinguishable from a complete one.
 	Dropped int
+	// DroppedSpans counts spans discarded for the same reason.
+	DroppedSpans int
+
+	// Meta identifies the run and carries the calibration constants the
+	// attribution needs (base RTT, access-link rate). Filled by the run
+	// harness; a zero Meta is omitted from exports.
+	Meta Meta
+
+	// FlowHops holds the fabric's per-flow per-hop delay aggregates
+	// (SetFlowHops; net.DelayAccount is the source).
+	FlowHops []FlowHops
+	// Verdicts holds the Hermes monitor's failed-path verdicts
+	// (AnnotateFromAudit).
+	Verdicts []Verdict
+
+	open map[uint64]*flowState
 }
 
 func (r *Recorder) add(e Event) {
@@ -58,12 +130,174 @@ func (r *Recorder) add(e Event) {
 	r.Events = append(r.Events, e)
 }
 
+func (r *Recorder) state(flow uint64) *flowState {
+	if r.open == nil {
+		r.open = map[uint64]*flowState{}
+	}
+	st, ok := r.open[flow]
+	if !ok {
+		st = &flowState{span: -1}
+		r.open[flow] = st
+	}
+	return st
+}
+
+func (r *Recorder) openSpan(st *flowState, at sim.Time, flow uint64, path int) {
+	if r.MaxEvents > 0 && len(r.Spans) >= r.MaxEvents {
+		r.DroppedSpans++
+		st.span = -1
+		return
+	}
+	r.Spans = append(r.Spans, Span{Flow: flow, Path: path, Start: at})
+	st.span = len(r.Spans) - 1
+}
+
+func (r *Recorder) closeSpan(st *flowState, at sim.Time, final bool) {
+	if st.span < 0 {
+		return
+	}
+	sp := &r.Spans[st.span]
+	sp.End = at
+	sp.Final = final
+	st.span = -1
+}
+
+func (r *Recorder) noteStart(at sim.Time, flow uint64, size int64) {
+	st := r.state(flow)
+	st.size = size
+	st.start = at
+	st.lastProgress = at
+	r.add(Event{At: at, Flow: flow, Kind: FlowStart, Size: size})
+}
+
+// notePath records the balancer's path choice, opening a new residency span
+// when it differs from the current one.
+func (r *Recorder) notePath(at sim.Time, flow uint64, path int) {
+	st := r.state(flow)
+	if st.placed && st.path == path {
+		return
+	}
+	kind := Placement
+	if st.placed {
+		kind = PathChange
+		r.closeSpan(st, at, false)
+	}
+	st.placed = true
+	st.path = path
+	r.add(Event{At: at, Flow: flow, Kind: kind, Path: path})
+	r.openSpan(st, at, flow, path)
+}
+
+func (r *Recorder) noteAck(at sim.Time, flow uint64, ev transport.AckEvent) {
+	st, ok := r.open[flow]
+	if !ok {
+		return
+	}
+	if st.span >= 0 {
+		sp := &r.Spans[st.span]
+		sp.QueueNs += ev.QueueNs
+		if ev.ECE {
+			sp.EcnMarks++
+		}
+		if ev.NewlyAcked > 0 {
+			sp.Bytes += ev.NewlyAcked
+			if sp.FirstAck == 0 {
+				sp.FirstAck = at
+			}
+		}
+	}
+	if ev.NewlyAcked > 0 {
+		st.lastProgress = at
+	}
+}
+
+func (r *Recorder) noteRetx(at sim.Time, flow uint64, path int) {
+	r.add(Event{At: at, Flow: flow, Kind: Retransmit, Path: path})
+	if st, ok := r.open[flow]; ok && st.span >= 0 {
+		r.Spans[st.span].Retx++
+	}
+}
+
+func (r *Recorder) noteTimeout(at sim.Time, flow uint64, path int) {
+	st := r.state(flow)
+	stall := at - st.lastProgress
+	if stall < 0 {
+		stall = 0
+	}
+	r.add(Event{At: at, Flow: flow, Kind: Timeout, Path: path, Stall: stall})
+	if st.span >= 0 {
+		sp := &r.Spans[st.span]
+		sp.Timeouts++
+		sp.StallNs += stall
+	}
+	st.lastProgress = at
+}
+
+func (r *Recorder) noteDone(at sim.Time, flow uint64, size int64) {
+	r.add(Event{At: at, Flow: flow, Kind: FlowDone, Size: size})
+	if st, ok := r.open[flow]; ok {
+		r.closeSpan(st, at, true)
+		delete(r.open, flow)
+	}
+}
+
+// NoteDrop records a fabric drop of one of flow's packets (fed by
+// net.Network.SetTraceHooks).
+func (r *Recorder) NoteDrop(at sim.Time, flow uint64, path int) {
+	r.add(Event{At: at, Flow: flow, Kind: Drop, Path: path})
+	if st, ok := r.open[flow]; ok && st.span >= 0 {
+		r.Spans[st.span].Drops++
+	}
+}
+
+// NoteMark records a fabric ECN mark on one of flow's packets. Mark events
+// are fabric-side observations; the span's EcnMarks counter instead counts
+// delivered marked packets (ACK echoes), so the two can differ when marked
+// packets are dropped downstream.
+func (r *Recorder) NoteMark(at sim.Time, flow uint64, path int) {
+	r.add(Event{At: at, Flow: flow, Kind: ECNMark, Path: path})
+}
+
+// CloseOpenSpans force-closes the spans of unfinished flows at the
+// simulation horizon (deterministically, in flow order). A span that was
+// mid-stall — it has timeouts and no progress since the last one — is
+// charged the trailing idle gap, mirroring the unfinished-flow FCT
+// accounting.
+func (r *Recorder) CloseOpenSpans(at sim.Time) {
+	flows := make([]uint64, 0, len(r.open))
+	for f, st := range r.open {
+		if st.span >= 0 {
+			flows = append(flows, f)
+		}
+	}
+	sort.Slice(flows, func(i, j int) bool { return flows[i] < flows[j] })
+	for _, f := range flows {
+		st := r.open[f]
+		sp := &r.Spans[st.span]
+		if sp.Timeouts > 0 && at > st.lastProgress {
+			sp.StallNs += at - st.lastProgress
+		}
+		r.closeSpan(st, at, false)
+	}
+}
+
 // For returns the events of one flow, in order.
 func (r *Recorder) For(flow uint64) []Event {
 	var out []Event
 	for _, e := range r.Events {
 		if e.Flow == flow {
 			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// SpansFor returns the spans of one flow, in order.
+func (r *Recorder) SpansFor(flow uint64) []Span {
+	var out []Span
+	for _, s := range r.Spans {
+		if s.Flow == flow {
+			out = append(out, s)
 		}
 	}
 	return out
@@ -78,28 +312,6 @@ func (r *Recorder) Count(k Kind) int {
 		}
 	}
 	return n
-}
-
-// WriteJSONL emits one JSON object per line. A truncated trace ends with a
-// {"kind":"truncated","dropped":N} marker so consumers can tell the timeline
-// is incomplete.
-func (r *Recorder) WriteJSONL(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	for _, e := range r.Events {
-		if err := enc.Encode(e); err != nil {
-			return fmt.Errorf("trace: %w", err)
-		}
-	}
-	if r.Dropped > 0 {
-		marker := struct {
-			Kind    string `json:"kind"`
-			Dropped int    `json:"dropped"`
-		}{"truncated", r.Dropped}
-		if err := enc.Encode(marker); err != nil {
-			return fmt.Errorf("trace: %w", err)
-		}
-	}
-	return nil
 }
 
 // PathVisits returns the distinct paths a flow used, in first-visit order.
@@ -121,50 +333,42 @@ func (r *Recorder) PathVisits(flow uint64) []int {
 // Wrap decorates a balancer so that every decision and transport signal is
 // recorded. eng supplies timestamps.
 func Wrap(inner transport.Balancer, rec *Recorder, eng *sim.Engine) transport.Balancer {
-	return &tracer{inner: inner, rec: rec, eng: eng, lastPath: map[uint64]int{}}
+	return &tracer{inner: inner, rec: rec, eng: eng}
 }
 
 type tracer struct {
-	inner    transport.Balancer
-	rec      *Recorder
-	eng      *sim.Engine
-	lastPath map[uint64]int
+	inner transport.Balancer
+	rec   *Recorder
+	eng   *sim.Engine
 }
 
 func (t *tracer) Name() string { return t.inner.Name() }
 
 func (t *tracer) SelectPath(f *transport.Flow) int {
 	p := t.inner.SelectPath(f)
-	last, seen := t.lastPath[f.ID]
-	if !seen {
-		t.rec.add(Event{At: t.eng.Now(), Flow: f.ID, Kind: Placement, Path: p})
-		t.lastPath[f.ID] = p
-	} else if p != last {
-		t.rec.add(Event{At: t.eng.Now(), Flow: f.ID, Kind: PathChange, Path: p})
-		t.lastPath[f.ID] = p
-	}
+	t.rec.notePath(t.eng.Now(), f.ID, p)
 	return p
 }
 
 func (t *tracer) OnSent(f *transport.Flow, path, bytes int) { t.inner.OnSent(f, path, bytes) }
 func (t *tracer) OnAck(f *transport.Flow, ev transport.AckEvent) {
+	t.rec.noteAck(t.eng.Now(), f.ID, ev)
 	t.inner.OnAck(f, ev)
 }
 func (t *tracer) OnRetransmit(f *transport.Flow, path int) {
-	t.rec.add(Event{At: t.eng.Now(), Flow: f.ID, Kind: Retransmit, Path: path})
+	t.rec.noteRetx(t.eng.Now(), f.ID, path)
 	t.inner.OnRetransmit(f, path)
 }
 func (t *tracer) OnTimeout(f *transport.Flow, path int) {
-	t.rec.add(Event{At: t.eng.Now(), Flow: f.ID, Kind: Timeout, Path: path})
+	t.rec.noteTimeout(t.eng.Now(), f.ID, path)
 	t.inner.OnTimeout(f, path)
 }
 func (t *tracer) OnFlowStart(f *transport.Flow) {
-	t.rec.add(Event{At: t.eng.Now(), Flow: f.ID, Kind: FlowStart, Size: f.Size})
+	t.rec.noteStart(t.eng.Now(), f.ID, f.Size)
 	t.inner.OnFlowStart(f)
 }
 func (t *tracer) OnFlowDone(f *transport.Flow) {
-	t.rec.add(Event{At: t.eng.Now(), Flow: f.ID, Kind: FlowDone, Size: f.Size})
-	delete(t.lastPath, f.ID)
+	t.rec.noteDone(t.eng.Now(), f.ID, f.Size)
 	t.inner.OnFlowDone(f)
 }
 
@@ -178,6 +382,8 @@ type Summary struct {
 	PathChanges int
 	Retransmits int
 	Timeouts    int
+	ECNMarks    int
+	Drops       int
 	// Dropped mirrors Recorder.Dropped: events lost to the MaxEvents cap.
 	Dropped int
 
@@ -210,6 +416,10 @@ func (r *Recorder) Summarize() Summary {
 			s.Retransmits++
 		case Timeout:
 			s.Timeouts++
+		case ECNMark:
+			s.ECNMarks++
+		case Drop:
+			s.Drops++
 		case FlowDone:
 			s.Completed++
 			if st, ok := starts[e.Flow]; ok {

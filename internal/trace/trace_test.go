@@ -90,11 +90,15 @@ func TestTraceJSONL(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
-	if len(lines) != len(rec.Events) {
-		t.Fatalf("%d JSONL lines for %d events", len(lines), len(rec.Events))
+	if want := len(rec.Events) + len(rec.Spans); len(lines) != want {
+		t.Fatalf("%d JSONL lines for %d events + %d spans",
+			len(lines), len(rec.Events), len(rec.Spans))
 	}
 	if !strings.Contains(lines[0], `"kind":"start"`) {
 		t.Fatalf("unexpected first line: %s", lines[0])
+	}
+	if !strings.Contains(lines[len(lines)-1], `"kind":"span"`) {
+		t.Fatalf("unexpected last line: %s", lines[len(lines)-1])
 	}
 }
 

@@ -27,6 +27,11 @@ type AckEvent struct {
 	NewlyAcked int64
 	// Dup marks a duplicate ACK.
 	Dup bool
+	// QueueNs is the total output-queue waiting time the echoed data packet
+	// accumulated across its forward hops — the fabric's per-packet delay
+	// decomposition signal (serialization and propagation are deterministic
+	// per path, so queueing is the variable component worth echoing).
+	QueueNs sim.Time
 }
 
 // Balancer is the host-side load balancing plug-in. Implementations that

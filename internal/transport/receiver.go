@@ -114,18 +114,19 @@ func (ep *Endpoint) onData(pkt *net.Packet) {
 func (ep *Endpoint) sendAck(data *net.Packet, r *rcvFlow) {
 	ack := ep.tr.Net.AllocPacket()
 	*ack = net.Packet{
-		Kind:     net.Ack,
-		Flow:     data.Flow,
-		Src:      data.Dst,
-		Dst:      data.Src,
-		Wire:     net.AckBytes,
-		Path:     data.Path,
-		AckSeq:   r.cumRecv,
-		EchoSent: data.SentAt,
-		EchoPath: data.Path,
-		EchoCE:   data.CE,
-		Retx:     data.Retx,
-		SentAt:   ep.tr.Eng.Now(),
+		Kind:      net.Ack,
+		Flow:      data.Flow,
+		Src:       data.Dst,
+		Dst:       data.Src,
+		Wire:      net.AckBytes,
+		Path:      data.Path,
+		AckSeq:    r.cumRecv,
+		EchoSent:  data.SentAt,
+		EchoPath:  data.Path,
+		EchoCE:    data.CE,
+		EchoQueue: data.QueueNs,
+		Retx:      data.Retx,
+		SentAt:    ep.tr.Eng.Now(),
 	}
 	ep.host.Send(ack)
 }

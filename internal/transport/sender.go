@@ -148,7 +148,7 @@ func (f *Flow) onAckPacket(pkt *net.Packet) {
 			f.timelyUpdate(rtt)
 		}
 	}
-	ev := AckEvent{Path: pkt.EchoPath, RTT: rtt, ECE: pkt.EchoCE}
+	ev := AckEvent{Path: pkt.EchoPath, RTT: rtt, ECE: pkt.EchoCE, QueueNs: pkt.EchoQueue}
 
 	if pkt.AckSeq > f.cumAck {
 		newly := pkt.AckSeq - f.cumAck

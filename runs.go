@@ -134,8 +134,8 @@ func RunParallel(cfg Config, seeds []int64) ([]*Result, error) {
 //     in-flight simulations at their next scheduling slice; the first real
 //     simulation error cancels the rest of the sweep.
 func RunParallelOpts(ctx context.Context, cfg Config, seeds []int64, opts ParallelOptions) ([]*Result, error) {
-	if cfg.TraceWriter != nil {
-		return nil, fmt.Errorf("hermes: RunParallel cannot share one TraceWriter across runs; trace runs individually")
+	if cfg.TraceWriter != nil || cfg.PerfettoWriter != nil {
+		return nil, fmt.Errorf("hermes: RunParallel cannot share one trace writer across runs; use Config.Trace and Result.Trace, or trace runs individually")
 	}
 	if ctx == nil {
 		ctx = context.Background()
