@@ -31,12 +31,13 @@ func simTopo(o options) hermes.Topology {
 // runs flow through, so enabling telemetry here covers the whole evaluation.
 // Sweeps run data points concurrently, hence the sequence-number mutex.
 var (
-	telemetryOn bool
-	reportDir   string
-	auditDir    string
-	traceDir    string
-	artifactSeq int
-	artifactMu  sync.Mutex
+	telemetryOn   bool
+	reportDir     string
+	auditDir      string
+	traceDir      string
+	timeseriesDir string
+	artifactSeq   int
+	artifactMu    sync.Mutex
 )
 
 func mustRun(cfg hermes.Config) *hermes.Result {
@@ -48,6 +49,10 @@ func mustRun(cfg hermes.Config) *hermes.Result {
 		// runs data points concurrently, unlike a shared TraceWriter.
 		cfg.Trace = true
 	}
+	if timeseriesDir != "" {
+		// Same pattern: each run records into its own flight recorder.
+		cfg.TimeSeries = true
+	}
 	res, err := hermes.Run(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -56,10 +61,11 @@ func mustRun(cfg hermes.Config) *hermes.Result {
 	return res
 }
 
-// saveRunArtifacts writes the per-run report, audit log and flow trace when
-// -report, -audit or -trace named directories.
+// saveRunArtifacts writes the per-run report, audit log, flow trace and
+// flight-recorder time series when -report, -audit, -trace or -timeseries
+// named directories.
 func saveRunArtifacts(cfg hermes.Config, res *hermes.Result) {
-	if reportDir == "" && auditDir == "" && traceDir == "" {
+	if reportDir == "" && auditDir == "" && traceDir == "" && timeseriesDir == "" {
 		return
 	}
 	artifactMu.Lock()
@@ -98,6 +104,16 @@ func saveRunArtifacts(cfg hermes.Config, res *hermes.Result) {
 			log.Fatal(err)
 		}
 		if err := res.Trace.WriteJSONL(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+	}
+	if timeseriesDir != "" && res.TimeSeries != nil {
+		f, err := os.Create(filepath.Join(timeseriesDir, base+".ts.jsonl"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := res.TimeSeries.WriteJSONL(f); err != nil {
 			log.Fatal(err)
 		}
 		f.Close()

@@ -126,6 +126,7 @@ func main() {
 		repDir  = flag.String("report", "", "write one telemetry report JSON per run into this directory (implies -telemetry)")
 		audDir  = flag.String("audit", "", "write one Hermes audit JSONL per run into this directory (implies -telemetry)")
 		trcDir  = flag.String("trace", "", "write one flow-trace JSONL per run into this directory (analyze with hermes-trace)")
+		tsDir   = flag.String("timeseries", "", "write one flight-recorder time-series JSONL per run into this directory (view with hermes-trace -timeline)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -144,7 +145,7 @@ func main() {
 	for _, d := range []struct {
 		flag string
 		dst  *string
-	}{{*repDir, &reportDir}, {*audDir, &auditDir}, {*trcDir, &traceDir}} {
+	}{{*repDir, &reportDir}, {*audDir, &auditDir}, {*trcDir, &traceDir}, {*tsDir, &timeseriesDir}} {
 		if d.flag == "" {
 			continue
 		}

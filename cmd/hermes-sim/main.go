@@ -32,13 +32,15 @@ func main() {
 		flowlet  = flag.Int64("flowlet-us", 0, "flowlet timeout override in microseconds (CONGA/LetFlow/CLOVE)")
 		maxFlow  = flag.Int64("max-flow-bytes", 0, "flow size cap (0 = workload default)")
 
-		failKind = flag.String("failure", "", "''|random-drop|blackhole|degrade|cut-link")
+		failKind = flag.String("failure", "", "''|random-drop|blackhole|degrade|cut-link|cut-cable|degrade-link|degrade-spine|flap")
 		spine    = flag.Int("spine", -1, "failed spine index (-1 = random)")
 		dropRate = flag.Float64("drop-rate", 0.02, "silent random drop probability")
 		frac     = flag.Float64("degrade-fraction", 0.2, "fraction of fabric links degraded")
 		degBps   = flag.Int64("degrade-bps", 2e9, "degraded link rate")
 		cutLeaf  = flag.Int("cut-leaf", 0, "leaf side of the cut link")
 		cutSpine = flag.Int("cut-spine", 0, "spine side of the cut link")
+		flapUs   = flag.Int64("flap-period-us", 0, "flap cycle period in microseconds (failure=flap)")
+		flapDown = flag.Int64("flap-down-us", 0, "degraded time per flap cycle in microseconds (failure=flap)")
 
 		visibility   = flag.Bool("visibility", false, "measure Table 2 visibility")
 		jsonOut      = flag.Bool("json", false, "emit JSON instead of text")
@@ -48,6 +50,10 @@ func main() {
 		reportFile   = flag.String("report", "", "write the full run report here (.csv = CSV, else JSON; implies -telemetry)")
 		auditFile    = flag.String("audit", "", "write the Hermes decision audit log as JSONL (implies -telemetry)")
 		sweepUs      = flag.Int64("sweep-us", 1000, "telemetry sweep interval in microseconds")
+		tsFile       = flag.String("timeseries", "", "write the flight-recorder time series as JSONL (view with hermes-trace -timeline)")
+		tsCSVFile    = flag.String("timeseries-csv", "", "write the flight-recorder time series as CSV")
+		tsUs         = flag.Int64("timeseries-us", 0, "flight-recorder sampling interval in microseconds (0 = 100us default)")
+		tsCap        = flag.Int("timeseries-cap", 0, "max retained samples per series, ring-buffered (0 = default)")
 		subflows     = flag.Int("mptcp-subflows", 4, "subflows per logical flow (mptcp scheme)")
 		checks       = flag.Bool("checks", false, "arm the simulation invariant harness (engine + packet-conservation checks)")
 		configFile   = flag.String("config", "", "load the full experiment Config from a JSON file (overrides other flags)")
@@ -108,6 +114,7 @@ func main() {
 			DropRate: *dropRate,
 			Fraction: *frac, DegradedBps: *degBps,
 			CutLeaf: *cutLeaf, CutSpine: *cutSpine,
+			FlapPeriodNs: *flapUs * 1000, FlapDownNs: *flapDown * 1000,
 			SrcLeaf: 0, DstLeaf: topo.Leaves - 1,
 		},
 	}
@@ -125,6 +132,28 @@ func main() {
 	cfg.TelemetryIntervalNs = *sweepUs * 1000
 	cfg.Checks = *checks
 
+	var tsW, tsCSVW *os.File
+	if *tsFile != "" {
+		f, err := os.Create(*tsFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		tsW = f
+		cfg.TimeSeriesWriter = f
+	}
+	if *tsCSVFile != "" {
+		f, err := os.Create(*tsCSVFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		tsCSVW = f
+		cfg.TimeSeriesCSV = f
+	}
+	cfg.TimeSeriesIntervalNs = *tsUs * 1000
+	cfg.TimeSeriesCap = *tsCap
+
 	if *configFile != "" {
 		data, err := os.ReadFile(*configFile)
 		if err != nil {
@@ -136,6 +165,14 @@ func main() {
 		}
 		fileCfg.TraceWriter = cfg.TraceWriter
 		fileCfg.PerfettoWriter = cfg.PerfettoWriter
+		fileCfg.TimeSeriesWriter = cfg.TimeSeriesWriter
+		fileCfg.TimeSeriesCSV = cfg.TimeSeriesCSV
+		if fileCfg.TimeSeriesIntervalNs == 0 {
+			fileCfg.TimeSeriesIntervalNs = cfg.TimeSeriesIntervalNs
+		}
+		if fileCfg.TimeSeriesCap == 0 {
+			fileCfg.TimeSeriesCap = cfg.TimeSeriesCap
+		}
 		if *checks {
 			fileCfg.Checks = true
 		}
@@ -160,6 +197,17 @@ func main() {
 		}
 		if *perfettoFile != "" {
 			fmt.Fprintf(os.Stderr, "perfetto trace written to %s (open in ui.perfetto.dev)\n", *perfettoFile)
+		}
+	}
+	if res.TimeSeries != nil {
+		fmt.Fprintf(os.Stderr, "timeseries: %d samples, %d series, %d transitions (%d samples truncated, %d transitions dropped)\n",
+			res.TimeSeries.Len(), len(res.TimeSeries.Names()), len(res.TimeSeries.Transitions()),
+			res.TimeSeries.TruncatedSamples(), res.TimeSeries.DroppedTransitions)
+		if tsW != nil {
+			fmt.Fprintf(os.Stderr, "timeseries JSONL written to %s (view with hermes-trace -timeline)\n", *tsFile)
+		}
+		if tsCSVW != nil {
+			fmt.Fprintf(os.Stderr, "timeseries CSV written to %s\n", *tsCSVFile)
 		}
 	}
 

@@ -10,6 +10,7 @@
 //	hermes-trace -report run.report.json -top 15 run.trace.jsonl
 //	hermes-trace -perfetto run.perfetto.json run.trace.jsonl
 //	hermes-trace -compare hermes.trace.jsonl ecmp.trace.jsonl
+//	hermes-trace -timeline run.ts.jsonl
 package main
 
 import (
@@ -34,11 +35,21 @@ func main() {
 		pct         = flag.Float64("pct", 0.99, "tail percentile for the attribution summary (in [0,1))")
 		perfetto    = flag.String("perfetto", "", "also convert the trace to Chrome trace-event JSON at this path")
 		compareFile = flag.String("compare", "", "second trace: print a side-by-side attribution comparison instead of a full analysis")
+		tsFile      = flag.String("timeline", "", "flight-recorder time series (.jsonl or .csv, from hermes-sim -timeseries): render sparklines, queue heatmap and path-state timelines")
 		width       = flag.Int("width", 64, "chart width in cells")
 	)
 	flag.Parse()
+	if *tsFile != "" {
+		if err := timeline(os.Stdout, loadTimeseries(*tsFile), *width); err != nil {
+			log.Fatal(err)
+		}
+		if flag.NArg() == 0 {
+			return
+		}
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: hermes-trace [flags] trace.jsonl")
+		fmt.Fprintln(os.Stderr, "       hermes-trace -timeline run.ts.jsonl")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}

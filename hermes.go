@@ -28,6 +28,7 @@ import (
 	"github.com/hermes-repro/hermes/internal/net"
 	"github.com/hermes-repro/hermes/internal/sim"
 	"github.com/hermes-repro/hermes/internal/telemetry"
+	"github.com/hermes-repro/hermes/internal/timeseries"
 	"github.com/hermes-repro/hermes/internal/trace"
 	"github.com/hermes-repro/hermes/internal/transport"
 	"github.com/hermes-repro/hermes/internal/workload"
@@ -250,6 +251,25 @@ type Config struct {
 	// (0 = telemetry.DefaultAuditMaxEntries).
 	AuditMaxEntries int
 
+	// TimeSeries enables the flight recorder: bounded per-port queue/util
+	// series, Hermes path-state occupancy and transition log, and transport
+	// aggregates on Result.TimeSeries. Safe under RunParallel — each run
+	// owns its recorder. (omitempty keeps reports byte-stable.)
+	TimeSeries bool `json:",omitempty"`
+	// TimeSeriesIntervalNs is the sampling period in virtual nanoseconds
+	// (0 = timeseries.DefaultInterval, 100 us).
+	TimeSeriesIntervalNs int64
+	// TimeSeriesCap bounds the retained samples per series; older samples
+	// fall off a ring (0 = timeseries.DefaultCap).
+	TimeSeriesCap int
+	// TimeSeriesWriter, when non-nil, receives the recording as JSONL after
+	// the run (implies TimeSeries). Like TraceWriter, writers are rejected
+	// under RunParallel; use TimeSeries + Result.TimeSeries there.
+	TimeSeriesWriter io.Writer `json:"-"`
+	// TimeSeriesCSV, when non-nil, receives the recording as long-format
+	// CSV after the run (implies TimeSeries).
+	TimeSeriesCSV io.Writer `json:"-"`
+
 	// ctx, when set by RunParallelOpts, lets a sweep interrupt this run at
 	// its next scheduling slice. Unexported: single runs are not
 	// interruptible from the public API.
@@ -301,6 +321,11 @@ type Result struct {
 	// per-flow per-hop delay aggregates and Hermes verdicts — when tracing
 	// was enabled (nil otherwise).
 	Trace *trace.Recorder `json:"-"`
+
+	// TimeSeries holds the flight recorder — per-port queue/utilization
+	// series, Hermes path census and transition log, transport aggregates —
+	// when Config.TimeSeries (or a time-series writer) was set.
+	TimeSeries *timeseries.Recorder `json:"-"`
 }
 
 func (t Topology) toNet() net.Config {
@@ -369,6 +394,13 @@ func Run(cfg Config) (*Result, error) {
 		nw.AttachTelemetry(rd.Registry)
 	}
 
+	var flight *timeseries.Recorder
+	if cfg.TimeSeries || cfg.TimeSeriesWriter != nil || cfg.TimeSeriesCSV != nil {
+		flight = timeseries.NewRecorder(eng,
+			sim.Time(cfg.TimeSeriesIntervalNs), cfg.TimeSeriesCap, 0)
+		nw.AttachFlightRecorder(flight)
+	}
+
 	opts := transport.DefaultOptions()
 	switch cfg.Protocol {
 	case "", "dctcp":
@@ -386,7 +418,7 @@ func Run(cfg Config) (*Result, error) {
 		opts.ReorderTimeout = 400 * sim.Microsecond
 	}
 
-	wiring, err := buildScheme(nw, rng, cfg, rd)
+	wiring, err := buildScheme(nw, rng, cfg, rd, flight)
 	if err != nil {
 		return nil, err
 	}
@@ -420,6 +452,7 @@ func Run(cfg Config) (*Result, error) {
 	if rd != nil {
 		tr.AttachTelemetry(rd.Registry)
 	}
+	tr.AttachFlightRecorder(flight)
 	wiring.afterTransport(nw, rng)
 
 	// Switch-malfunction failures can be installed any time before traffic.
@@ -462,6 +495,7 @@ func Run(cfg Config) (*Result, error) {
 	if rd != nil {
 		rd.Sweeper.Start()
 	}
+	flight.Start()
 
 	var vis *metrics.VisibilitySampler
 	if cfg.MeasureVisibility {
@@ -544,6 +578,34 @@ func Run(cfg Config) (*Result, error) {
 		rd.Sweeper.Snap()
 		res.Telemetry = rd
 	}
+	if flight != nil {
+		// Stop sampling and take one final snapshot so the run's end state
+		// always appears, then stamp identity for the exports.
+		flight.Stop()
+		flight.Snap()
+		flight.Meta = timeseries.Meta{
+			Schema:        timeseries.Schema,
+			Scheme:        string(cfg.Scheme),
+			Workload:      cfg.Workload,
+			Load:          cfg.Load,
+			Seed:          cfg.Seed,
+			Failure:       string(cfg.Failure.Kind),
+			IntervalNs:    int64(flight.Interval),
+			Cap:           flight.Cap,
+			SimDurationNs: int64(eng.Now()),
+		}
+		res.TimeSeries = flight
+		if cfg.TimeSeriesWriter != nil {
+			if err := flight.WriteJSONL(cfg.TimeSeriesWriter); err != nil {
+				return nil, err
+			}
+		}
+		if cfg.TimeSeriesCSV != nil {
+			if err := flight.WriteCSV(cfg.TimeSeriesCSV); err != nil {
+				return nil, err
+			}
+		}
+	}
 	if cfg.Checks {
 		if vs := eng.Violations(); len(vs) > 0 {
 			return nil, fmt.Errorf("hermes: engine invariants violated (%d): %s", len(vs), vs[0])
@@ -566,6 +628,7 @@ func Run(cfg Config) (*Result, error) {
 			SimDurationNs: int64(eng.Now()),
 		}
 		tracer.SetFlowHops(delayAcct)
+		tracer.Flight = flight
 		if rd != nil {
 			tracer.AnnotateFromAudit(rd.Audit.Entries())
 		}

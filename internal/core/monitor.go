@@ -28,6 +28,11 @@ type PathState struct {
 	dre net.DRE
 
 	failedUntil sim.Time // quarantine horizon; 0 when healthy
+
+	// lastType is the characterization last reported through OnTransition.
+	// Its zero value is Gray, matching the initial classification of a path
+	// with no samples, so the first report is always a real change.
+	lastType PathType
 }
 
 // ECNFraction returns the smoothed marked fraction.
@@ -58,6 +63,14 @@ type Monitor struct {
 	// Audit, when non-nil, receives a verdict entry for every failed-path
 	// mark with the Algorithm 1 rule that fired as its reason.
 	Audit *telemetry.AuditLog
+
+	// OnTransition, when non-nil, observes every change in a path's
+	// Algorithm 1 characterization together with the signal that caused it
+	// ("ack", "probe", "verdict:<reason>", "hold-expired"). Classification
+	// is pull-computed, so transitions are detected at the intake sites that
+	// can change it and by periodic ScanTransitions sweeps for quarantine
+	// expiry. One nil check per intake event when disabled.
+	OnTransition func(dstLeaf, path int, from, to PathType, cause string)
 }
 
 // NewMonitor builds the monitor for one source leaf.
@@ -117,6 +130,41 @@ func (m *Monitor) markFailed(dstLeaf, path int, ps *PathState, reason string, no
 		At: now, Kind: telemetry.AuditVerdict, Reason: reason,
 		Host: -1, DstLeaf: dstLeaf, FromPath: path, ToPath: -1,
 	})
+	m.noteTransition(dstLeaf, path, ps, "verdict:"+reason)
+}
+
+// noteTransition reports a characterization change on (dstLeaf, path), if
+// any, through OnTransition. Called at every intake site that can move the
+// classification and by ScanTransitions.
+func (m *Monitor) noteTransition(dstLeaf, path int, ps *PathState, cause string) {
+	if m.OnTransition == nil {
+		return
+	}
+	t := m.Type(dstLeaf, path)
+	if t == ps.lastType {
+		return
+	}
+	from := ps.lastType
+	ps.lastType = t
+	m.OnTransition(dstLeaf, path, from, t, cause)
+}
+
+// ScanTransitions sweeps every tracked (dstLeaf, path) pair for
+// characterization changes not driven by signal intake — in practice
+// quarantine expiry, the only way a path's type moves between events. The
+// flight recorder calls this once per sampling tick.
+func (m *Monitor) ScanTransitions(cause string) {
+	if m.OnTransition == nil {
+		return
+	}
+	for d := range m.paths {
+		if d == m.SrcLeaf {
+			continue
+		}
+		for s, ps := range m.paths[d] {
+			m.noteTransition(d, s, ps, cause)
+		}
+	}
 }
 
 // State returns the path state for direct inspection (tests, telemetry).
@@ -203,6 +251,14 @@ func (m *Monitor) OnDelivery(dstLeaf, path int, ece bool, rtt sim.Time) {
 		return
 	}
 	ps := m.paths[dstLeaf][path]
+	m.deliverSample(ps, ece, rtt)
+	m.noteTransition(dstLeaf, path, ps, "ack")
+}
+
+// deliverSample folds one successful round-trip measurement into the path
+// state (shared by ACK echoes and probe successes, which differ only in the
+// transition cause they report).
+func (m *Monitor) deliverSample(ps *PathState, ece bool, rtt sim.Time) {
 	ps.consecProbeLoss = 0
 	mark := 0.0
 	if ece {
@@ -265,7 +321,8 @@ func (m *Monitor) OnProbeResult(dstLeaf, path int, lost, ece bool, rtt sim.Time)
 		}
 		return
 	}
-	m.OnDelivery(dstLeaf, path, ece, rtt)
+	m.deliverSample(ps, ece, rtt)
+	m.noteTransition(dstLeaf, path, ps, "probe")
 }
 
 // ProbeLossesForFailure is the consecutive-probe-loss count that declares a

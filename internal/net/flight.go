@@ -1,0 +1,106 @@
+package net
+
+import (
+	"github.com/hermes-repro/hermes/internal/telemetry"
+	"github.com/hermes-repro/hermes/internal/timeseries"
+)
+
+// AttachFlightRecorder registers the fabric's time-series surface on the
+// flight recorder: per-fabric-port queue depth (instantaneous and interval
+// peak), utilization, ECN-mark and drop rates, plus fabric-wide aggregates.
+// Host access ports contribute to the aggregates only, keeping the series
+// count proportional to the fabric.
+//
+// All probes are pull-style and sampled once per recorder interval, so the
+// data-plane hot path is untouched except for the one peak-tracking branch
+// armed by EnablePeakSampling. Rate probes are stateful (delta since the
+// previous sample), which the recorder's once-per-instant contract makes
+// well-defined.
+func (n *Network) AttachFlightRecorder(rec *timeseries.Recorder) {
+	if rec == nil {
+		return
+	}
+	interval := float64(rec.Interval)
+	if interval <= 0 {
+		interval = float64(timeseries.DefaultInterval)
+	}
+
+	var fabricPorts, allPorts []*Port
+	for _, leaf := range n.Leaves {
+		fabricPorts = append(fabricPorts, leaf.up...)
+		allPorts = append(allPorts, leaf.up...)
+		allPorts = append(allPorts, leaf.down...)
+	}
+	for _, sp := range n.Spines {
+		fabricPorts = append(fabricPorts, sp.down...)
+		allPorts = append(allPorts, sp.down...)
+	}
+	for _, h := range n.Hosts {
+		allPorts = append(allPorts, h.uplink)
+	}
+
+	// Fabric-wide aggregates: offered throughput plus cumulative loss/marks.
+	var lastTx uint64
+	rec.Register("net.tx_gbps", func() float64 {
+		var tx uint64
+		for _, p := range allPorts {
+			tx += p.TxBytes
+		}
+		d := tx - lastTx
+		lastTx = tx
+		return float64(d) * 8 / interval // bytes per ns-interval -> Gbit/s
+	})
+	rec.Register("net.drops_total", func() float64 {
+		var t uint64
+		for _, p := range allPorts {
+			t += p.Drops
+		}
+		return float64(t)
+	})
+	rec.Register("net.ecn_marks_total", func() float64 {
+		var t uint64
+		for _, p := range allPorts {
+			t += p.ECNMarks
+		}
+		return float64(t)
+	})
+
+	for _, p := range fabricPorts {
+		p := p
+		p.EnablePeakSampling()
+		rec.Register(telemetry.Key("net.port.queue_bytes", "port", p.Name),
+			func() float64 { return float64(p.loBytes) })
+		rec.Register(telemetry.Key("net.port.queue_peak_bytes", "port", p.Name),
+			func() float64 { return float64(p.TakeQueuePeak()) })
+		rec.Register(telemetry.Key("net.port.util", "port", p.Name),
+			utilProbe(p, interval))
+		rec.Register(telemetry.Key("net.port.ecn_mark_rate", "port", p.Name),
+			deltaProbe(func() uint64 { return p.ECNMarks }))
+		rec.Register(telemetry.Key("net.port.drop_rate", "port", p.Name),
+			deltaProbe(func() uint64 { return p.Drops }))
+	}
+}
+
+// utilProbe returns the fraction of the last interval the port spent
+// transmitting (busy-time delta over interval; can exceed 1 transiently when
+// a serialization slot straddles the sample edge).
+func utilProbe(p *Port, intervalNs float64) func() float64 {
+	var last int64
+	return func() float64 {
+		busy := int64(p.busyTime)
+		d := busy - last
+		last = busy
+		return float64(d) / intervalNs
+	}
+}
+
+// deltaProbe turns a cumulative counter into a per-interval rate series.
+func deltaProbe(read func() uint64) func() float64 {
+	var last uint64
+	return func() float64 {
+		v := read()
+		d := v - last
+		last = v
+		return float64(d)
+	}
+}

@@ -53,6 +53,12 @@ type Port struct {
 	// so they stay on even when the telemetry registry is disabled.
 	hiWater  int
 	busyTime sim.Time
+
+	// peakOn arms interval peak tracking for the flight recorder: when set,
+	// samplePeak follows the deepest data-queue occupancy since the last
+	// TakeQueuePeak. One predictable branch in Enqueue when disarmed.
+	peakOn     bool
+	samplePeak int
 }
 
 // PortConfig carries the physical parameters of a port.
@@ -181,6 +187,22 @@ func (p *Port) UtilFraction(now sim.Time) float64 {
 	return p.dre.RateBps(now) / float64(p.rateBps)
 }
 
+// EnablePeakSampling arms per-interval queue-peak tracking for the flight
+// recorder.
+func (p *Port) EnablePeakSampling() {
+	p.peakOn = true
+	p.samplePeak = p.loBytes
+}
+
+// TakeQueuePeak returns the deepest data-queue occupancy since the previous
+// call and resets the tracker to the current depth (read-and-reset; sampled
+// once per recorder interval).
+func (p *Port) TakeQueuePeak() int {
+	peak := p.samplePeak
+	p.samplePeak = p.loBytes
+	return peak
+}
+
 // Enqueue accepts a packet for transmission. Data-class packets beyond the
 // queue capacity are dropped silently (drop-tail); ECN-capable packets are
 // marked when the instantaneous data-queue depth exceeds the threshold.
@@ -204,6 +226,9 @@ func (p *Port) Enqueue(pkt *Packet) {
 		p.loBytes += pkt.Wire
 		if p.loBytes > p.hiWater {
 			p.hiWater = p.loBytes
+		}
+		if p.peakOn && p.loBytes > p.samplePeak {
+			p.samplePeak = p.loBytes
 		}
 		if p.ecnK > 0 && pkt.ECT && p.loBytes > p.ecnK {
 			pkt.CE = true

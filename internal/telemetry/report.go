@@ -107,8 +107,9 @@ func (rd *RunData) Fill(rep *Report) {
 	}
 	rep.Histograms = rd.Registry.Histograms()
 	rep.SeriesTimesNs = rd.Sweeper.Times()
+	cols := rd.Sweeper.Series()
 	for _, name := range rd.Sweeper.SeriesNames() {
-		rep.Series = append(rep.Series, Series{Name: name, Values: rd.Sweeper.Series()[name]})
+		rep.Series = append(rep.Series, Series{Name: name, Values: cols[name]})
 	}
 	rep.Audit = rd.Audit.Summary()
 }

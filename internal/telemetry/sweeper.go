@@ -1,21 +1,29 @@
 package telemetry
 
 import (
-	"sort"
-
 	"github.com/hermes-repro/hermes/internal/sim"
+	"github.com/hermes-repro/hermes/internal/timeseries"
 )
 
 // Sweeper periodically snapshots a Registry into per-metric time series on
-// the simulation clock. Metrics that appear after the first sweep are
-// zero-backfilled so every series has one value per sweep instant.
+// the simulation clock, backed by a timeseries.Columns store.
+//
+// Zero-backfill contract: every series always has exactly one value per
+// retained sweep instant — len(Series()[k]) == len(Times()) for every k.
+// A metric registered mid-run (between ticks) gets zeros for all sweeps
+// that happened before it first appeared in the registry, and the contract
+// continues to hold under ring truncation when Cap is set.
 type Sweeper struct {
 	Reg      *Registry
 	Eng      *sim.Engine
 	Interval sim.Time
 
-	times   []int64
-	series  map[string][]float64
+	// Cap bounds the retained sweeps (ring buffer; oldest rows drop first).
+	// <= 0 keeps every sweep — the default, which reports depend on.
+	// Set before Start.
+	Cap int
+
+	cols    timeseries.Columns
 	stopped bool
 }
 
@@ -30,9 +38,6 @@ func (s *Sweeper) Start() {
 	}
 	if s.Interval <= 0 {
 		s.Interval = DefaultSweepInterval
-	}
-	if s.series == nil {
-		s.series = map[string][]float64{}
 	}
 	s.Eng.Schedule(s.Interval, s.tick)
 }
@@ -58,34 +63,44 @@ func (s *Sweeper) Snap() {
 	if s == nil || s.Reg == nil {
 		return
 	}
-	if s.series == nil {
-		s.series = map[string][]float64{}
+	if s.cols.Len() == 0 {
+		s.cols.Cap = s.Cap // no rows yet: the cap can still be (re)applied
 	}
-	n := len(s.times)
-	s.times = append(s.times, s.Eng.Now())
+	s.cols.Append(s.Eng.Now())
 	for k, v := range s.Reg.Values() {
-		col, ok := s.series[k]
-		if !ok && n > 0 {
-			col = make([]float64, n) // zero-backfill a late metric
-		}
-		s.series[k] = append(col, v)
+		s.cols.Put(k, v)
 	}
 }
 
-// Times returns the sweep instants in nanoseconds of simulation time.
+// Truncated returns the number of sweeps discarded to honor Cap.
+func (s *Sweeper) Truncated() int {
+	if s == nil {
+		return 0
+	}
+	return s.cols.Truncated()
+}
+
+// Times returns the retained sweep instants in nanoseconds of simulation
+// time, oldest first.
 func (s *Sweeper) Times() []int64 {
 	if s == nil {
 		return nil
 	}
-	return s.times
+	return s.cols.Times()
 }
 
-// Series returns the per-metric value columns, aligned with Times.
+// Series returns the per-metric value columns, aligned with Times. The map
+// is rebuilt per call; mutate freely.
 func (s *Sweeper) Series() map[string][]float64 {
 	if s == nil {
 		return nil
 	}
-	return s.series
+	names := s.cols.Names()
+	out := make(map[string][]float64, len(names))
+	for _, k := range names {
+		out[k] = s.cols.Series(k)
+	}
+	return out
 }
 
 // SeriesNames returns the metric keys in sorted order (the deterministic
@@ -94,10 +109,5 @@ func (s *Sweeper) SeriesNames() []string {
 	if s == nil {
 		return nil
 	}
-	names := make([]string, 0, len(s.series))
-	for k := range s.series {
-		names = append(names, k)
-	}
-	sort.Strings(names)
-	return names
+	return s.cols.Names()
 }

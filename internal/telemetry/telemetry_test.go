@@ -112,6 +112,44 @@ func TestSweeperSeries(t *testing.T) {
 	}
 }
 
+func TestSweeperCapRingAndBackfill(t *testing.T) {
+	eng := sim.NewEngine()
+	reg := NewRegistry()
+	c := reg.Counter("events")
+	sw := &Sweeper{Reg: reg, Eng: eng, Interval: sim.Millisecond, Cap: 3}
+	sw.Start()
+	for i := 1; i <= 5; i++ {
+		c.Inc()
+		eng.Run(sim.Time(i) * sim.Millisecond)
+		if i == 4 {
+			// Register a metric mid-run, after the ring has wrapped.
+			reg.Counter("late").Add(9)
+		}
+	}
+	sw.Stop()
+	times := sw.Times()
+	if len(times) != 3 || sw.Truncated() != 2 {
+		t.Fatalf("retained %d sweeps (truncated %d), want 3 (2)", len(times), sw.Truncated())
+	}
+	// Oldest-first, newest survive: sweeps at 3, 4, 5 ms.
+	if times[0] != int64(3*sim.Millisecond) || times[2] != int64(5*sim.Millisecond) {
+		t.Fatalf("times = %v", times)
+	}
+	// Invariant: every series has exactly one value per retained sweep,
+	// including the late-registered metric (zero before it existed).
+	for name, vals := range sw.Series() {
+		if len(vals) != len(times) {
+			t.Fatalf("series %q has %d values, want %d", name, len(vals), len(times))
+		}
+	}
+	if got := sw.Series()["events"]; got[0] != 3 || got[2] != 5 {
+		t.Fatalf("events series = %v, want [3 4 5]", got)
+	}
+	if got := sw.Series()["late"]; got[0] != 0 || got[1] != 0 || got[2] != 9 {
+		t.Fatalf("late series = %v, want [0 0 9]", got)
+	}
+}
+
 func TestAuditLogCapAndSummary(t *testing.T) {
 	log := NewAuditLog(2)
 	log.Add(AuditEntry{At: 1, Kind: AuditPlace, Reason: ReasonFresh})

@@ -188,6 +188,93 @@ func Heatmap(w io.Writer, title string, rows []Series, width int) error {
 	return err
 }
 
+// Sparkline renders a series as a single line of ramp characters scaled to
+// its own maximum, with the label and min/max annotated:
+//
+//	net.tx_gbps      |  .:-=+**##%%@@=-.  | 0 .. 9.41
+func Sparkline(w io.Writer, label string, xs []float64, width int) error {
+	if width <= 0 {
+		width = 60
+	}
+	if len(xs) == 0 {
+		_, err := fmt.Fprintf(w, "%s (no data)\n", label)
+		return err
+	}
+	min, max := xs[0], xs[0]
+	for _, v := range xs {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	vals := Downsample(xs, width)
+	cells := make([]byte, len(vals))
+	for i, v := range vals {
+		idx := 0
+		if max > 0 {
+			idx = int(v / max * float64(len(heatRamp)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(heatRamp) {
+			idx = len(heatRamp) - 1
+		}
+		if idx == 0 && v > 0 {
+			idx = 1
+		}
+		cells[i] = heatRamp[idx]
+	}
+	_, err := fmt.Fprintf(w, "%s |%s| %.3g .. %.3g\n", label, cells, min, max)
+	return err
+}
+
+// Timeline renders rows of small-integer state codes as one glyph per cell,
+// using glyphs[code] (out-of-range codes print '?'). Rows longer than width
+// are reduced bucket-max (DownsampleMax), so a brief excursion to a higher
+// state — e.g. a path turning failed for one probe interval — survives the
+// shrink instead of averaging away:
+//
+//	dst1 path0 |ggggggggGGGG!!!!!!!!GGGGGGGG|
+func Timeline(w io.Writer, title string, rows []Series, glyphs []byte, width int) error {
+	if width <= 0 {
+		width = 60
+	}
+	if title != "" {
+		if _, err := fmt.Fprintln(w, title); err != nil {
+			return err
+		}
+	}
+	if len(rows) == 0 {
+		_, err := fmt.Fprintln(w, "(no data)")
+		return err
+	}
+	labelW := 0
+	for _, r := range rows {
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	for _, r := range rows {
+		vals := DownsampleMax(r.Values, width)
+		cells := make([]byte, len(vals))
+		for i, v := range vals {
+			code := int(v)
+			if code < 0 || code >= len(glyphs) {
+				cells[i] = '?'
+				continue
+			}
+			cells[i] = glyphs[code]
+		}
+		if _, err := fmt.Fprintf(w, "%-*s |%s|\n", labelW, r.Label, cells); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Downsample reduces xs to at most n points by bucket-averaging, so long
 // time series fit a terminal width.
 func Downsample(xs []float64, n int) []float64 {
@@ -205,6 +292,30 @@ func Downsample(xs []float64, n int) []float64 {
 			sum += v
 		}
 		out[i] = sum / float64(hi-lo)
+	}
+	return out
+}
+
+// DownsampleMax reduces xs to at most n points keeping each bucket's
+// maximum — the right reduction for state codes and peak-style series,
+// where averaging would invent values that never occurred.
+func DownsampleMax(xs []float64, n int) []float64 {
+	if len(xs) <= n || n <= 0 {
+		return xs
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo, hi := i*len(xs)/n, (i+1)*len(xs)/n
+		if hi == lo {
+			hi = lo + 1
+		}
+		m := xs[lo]
+		for _, v := range xs[lo+1 : hi] {
+			if v > m {
+				m = v
+			}
+		}
+		out[i] = m
 	}
 	return out
 }

@@ -19,9 +19,17 @@ import (
 // Timestamps are microseconds of simulation time (the trace-event format's
 // unit); sub-microsecond precision survives as fractions.
 
+//   - process "timeseries": one counter track (ph "C") per flight-recorder
+//     series with at least one nonzero sample — queue depths, utilization,
+//     Hermes path census, transport aggregates.
+//   - process "hermes paths": one thread per source leaf; each path-state
+//     transition is an instant named from->to with dst/path/cause in args.
+
 const (
-	pidFlows   = 1
-	pidMonitor = 2
+	pidFlows       = 1
+	pidMonitor     = 2
+	pidTimeseries  = 3
+	pidTransitions = 4
 )
 
 type pfEvent struct {
@@ -146,9 +154,68 @@ func (r *Recorder) WritePerfetto(w io.Writer) error {
 		}
 	}
 
+	r.addFlightEvents(add)
+
 	enc := json.NewEncoder(w)
 	if err := enc.Encode(doc); err != nil {
 		return fmt.Errorf("trace: perfetto: %w", err)
 	}
 	return nil
+}
+
+// addFlightEvents renders the flight recorder (when attached) as counter
+// tracks plus path-state transition instants.
+func (r *Recorder) addFlightEvents(add func(pfEvent)) {
+	fl := r.Flight
+	if fl == nil {
+		return
+	}
+	times := fl.Times()
+	if len(times) > 0 {
+		named := false
+		for _, name := range fl.Names() {
+			vals := fl.Series(name)
+			nonzero := false
+			for _, v := range vals {
+				if v != 0 {
+					nonzero = true
+					break
+				}
+			}
+			if !nonzero {
+				continue // all-zero tracks only bloat the trace
+			}
+			if !named {
+				named = true
+				add(pfEvent{Name: "process_name", Ph: "M", Pid: pidTimeseries,
+					Args: map[string]any{"name": "timeseries"}})
+			}
+			for i, v := range vals {
+				add(pfEvent{Name: name, Ph: "C", Cat: "timeseries",
+					Ts: us(times[i]), Pid: pidTimeseries,
+					Args: map[string]any{"value": v}})
+			}
+		}
+	}
+
+	trs := fl.Transitions()
+	if len(trs) == 0 {
+		return
+	}
+	add(pfEvent{Name: "process_name", Ph: "M", Pid: pidTransitions,
+		Args: map[string]any{"name": "hermes paths"}})
+	named := map[uint64]bool{}
+	for _, t := range trs {
+		tid := uint64(t.Leaf)
+		if !named[tid] {
+			named[tid] = true
+			add(pfEvent{Name: "thread_name", Ph: "M", Pid: pidTransitions, Tid: tid,
+				Args: map[string]any{"name": fmt.Sprintf("leaf %d", t.Leaf)}})
+		}
+		add(pfEvent{
+			Name: fmt.Sprintf("%s->%s", t.From, t.To), Ph: "i", Cat: "path-state",
+			S: "t", Ts: us(t.AtNs), Pid: pidTransitions, Tid: tid,
+			Args: map[string]any{"dst_leaf": t.Dst, "path": t.Path, "cause": t.Cause},
+		})
+	}
 }

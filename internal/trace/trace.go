@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"github.com/hermes-repro/hermes/internal/sim"
+	"github.com/hermes-repro/hermes/internal/timeseries"
 	"github.com/hermes-repro/hermes/internal/transport"
 )
 
@@ -118,6 +119,11 @@ type Recorder struct {
 	// Verdicts holds the Hermes monitor's failed-path verdicts
 	// (AnnotateFromAudit).
 	Verdicts []Verdict
+
+	// Flight, when non-nil, is the run's time-series flight recorder; the
+	// Perfetto export renders its series as counter tracks and its
+	// path-state transitions as instants.
+	Flight *timeseries.Recorder
 
 	open map[uint64]*flowState
 }

@@ -23,6 +23,11 @@ type Transport struct {
 	active     map[uint64]*Flow
 	finished   int
 
+	// Raw loss counters: plain adds on their (rare) paths, always on, so
+	// the flight recorder can sample them without the telemetry registry.
+	Retransmits uint64
+	Timeouts    uint64
+
 	// Telemetry instruments; nil (free) unless AttachTelemetry was called.
 	telemFlowsStarted *telemetry.Counter
 	telemFlowsDone    *telemetry.Counter

@@ -1,0 +1,32 @@
+package transport
+
+import "github.com/hermes-repro/hermes/internal/timeseries"
+
+// AttachFlightRecorder registers the transport's time-series surface on the
+// flight recorder: active-flow count, total in-flight (sent-unacked) bytes,
+// and the cumulative loss counters. All pull-style probes over state the
+// transport already maintains, so the per-packet path is untouched.
+func (tr *Transport) AttachFlightRecorder(rec *timeseries.Recorder) {
+	if rec == nil {
+		return
+	}
+	rec.Register("transport.flows_active", func() float64 {
+		return float64(len(tr.active))
+	})
+	rec.Register("transport.flows_finished", func() float64 {
+		return float64(tr.finished)
+	})
+	rec.Register("transport.inflight_bytes", func() float64 {
+		var t int64
+		for _, f := range tr.active {
+			t += f.sndNxt - f.cumAck
+		}
+		return float64(t)
+	})
+	rec.Register("transport.retransmits_total", func() float64 {
+		return float64(tr.Retransmits)
+	})
+	rec.Register("transport.timeouts_total", func() float64 {
+		return float64(tr.Timeouts)
+	})
+}

@@ -65,6 +65,7 @@ func (f *Flow) sendSegment(seq int64, payload int, retx bool) {
 }
 
 func (f *Flow) retransmitFirst() {
+	f.ep.tr.Retransmits++
 	f.ep.tr.telemRetx.Inc()
 	payload := int64(net.MSS)
 	if rem := f.Size - f.cumAck; rem < payload {
@@ -114,6 +115,7 @@ func (f *Flow) onRTO() {
 	if f.Done {
 		return
 	}
+	f.ep.tr.Timeouts++
 	f.ep.tr.telemRTO.Inc()
 	f.ep.tr.telemCwnd.Observe(f.cwnd)
 	f.timeouts++

@@ -137,6 +137,9 @@ func RunParallelOpts(ctx context.Context, cfg Config, seeds []int64, opts Parall
 	if cfg.TraceWriter != nil || cfg.PerfettoWriter != nil {
 		return nil, fmt.Errorf("hermes: RunParallel cannot share one trace writer across runs; use Config.Trace and Result.Trace, or trace runs individually")
 	}
+	if cfg.TimeSeriesWriter != nil || cfg.TimeSeriesCSV != nil {
+		return nil, fmt.Errorf("hermes: RunParallel cannot share one time-series writer across runs; use Config.TimeSeries and Result.TimeSeries, or record runs individually")
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}

@@ -8,6 +8,7 @@ import (
 	"github.com/hermes-repro/hermes/internal/net"
 	"github.com/hermes-repro/hermes/internal/sim"
 	"github.com/hermes-repro/hermes/internal/telemetry"
+	"github.com/hermes-repro/hermes/internal/timeseries"
 	"github.com/hermes-repro/hermes/internal/transport"
 )
 
@@ -21,7 +22,8 @@ type wiring struct {
 func noAfter(*net.Network, *sim.RNG)   {}
 func noTelemetry(*Result, *sim.Engine) {}
 
-func buildScheme(nw *net.Network, rng *sim.RNG, cfg Config, rd *telemetry.RunData) (*wiring, error) {
+func buildScheme(nw *net.Network, rng *sim.RNG, cfg Config, rd *telemetry.RunData,
+	flight *timeseries.Recorder) (*wiring, error) {
 	flowlet := sim.Time(cfg.FlowletTimeoutNs)
 	if flowlet <= 0 {
 		flowlet = 150 * sim.Microsecond
@@ -95,7 +97,7 @@ func buildScheme(nw *net.Network, rng *sim.RNG, cfg Config, rd *telemetry.RunDat
 		w.balancerFor = func(*net.Host) transport.Balancer { return e }
 
 	case SchemeHermes:
-		return buildHermes(nw, rng, cfg, rd)
+		return buildHermes(nw, rng, cfg, rd, flight)
 
 	default:
 		return nil, fmt.Errorf("hermes: unknown scheme %q", cfg.Scheme)
@@ -107,7 +109,8 @@ func passThrough(name string) func(*net.Host) transport.Balancer {
 	return func(*net.Host) transport.Balancer { return &lb.PassThrough{Scheme: name} }
 }
 
-func buildHermes(nw *net.Network, rng *sim.RNG, cfg Config, rd *telemetry.RunData) (*wiring, error) {
+func buildHermes(nw *net.Network, rng *sim.RNG, cfg Config, rd *telemetry.RunData,
+	flight *timeseries.Recorder) (*wiring, error) {
 	var params core.Params
 	if cfg.HermesParams != nil {
 		params = *cfg.HermesParams
@@ -147,6 +150,9 @@ func buildHermes(nw *net.Network, rng *sim.RNG, cfg Config, rd *telemetry.RunDat
 	if reg != nil {
 		attachHermesGauges(reg, monitors, instances, &probers)
 	}
+	if flight != nil {
+		attachHermesFlight(flight, monitors)
+	}
 	w.afterTransport = func(nw *net.Network, rng *sim.RNG) {
 		if params.ProbeInterval <= 0 {
 			return
@@ -180,6 +186,37 @@ func buildHermes(nw *net.Network, rng *sim.RNG, cfg Config, rd *telemetry.RunDat
 		}
 	}
 	return w, nil
+}
+
+// attachHermesFlight wires the Hermes control plane into the flight
+// recorder: a per-leaf Algorithm 1 path census (good/gray/congested/failed
+// counts sampled every interval) and the path-state transition log. Monitor
+// intake sites report transitions as they happen; the per-tick scan catches
+// the one change that happens between events, quarantine expiry, so a
+// failed->gray flip is recorded within one sampling interval.
+func attachHermesFlight(flight *timeseries.Recorder, monitors []*core.Monitor) {
+	for l, m := range monitors {
+		l, m := l, m
+		leafLabel := fmt.Sprintf("%d", l)
+		census := func(pick func(good, gray, congested, failed int) int) func() float64 {
+			return func() float64 { return float64(pick(m.PathCensus())) }
+		}
+		flight.Register(telemetry.Key("hermes.paths_good", "leaf", leafLabel),
+			census(func(g, _, _, _ int) int { return g }))
+		flight.Register(telemetry.Key("hermes.paths_gray", "leaf", leafLabel),
+			census(func(_, g, _, _ int) int { return g }))
+		flight.Register(telemetry.Key("hermes.paths_congested", "leaf", leafLabel),
+			census(func(_, _, c, _ int) int { return c }))
+		flight.Register(telemetry.Key("hermes.paths_failed", "leaf", leafLabel),
+			census(func(_, _, _, f int) int { return f }))
+		m.OnTransition = func(dstLeaf, path int, from, to core.PathType, cause string) {
+			flight.AddTransition(timeseries.Transition{
+				AtNs: int64(m.Net.Eng.Now()), Leaf: l, Dst: dstLeaf, Path: path,
+				From: from.String(), To: to.String(), Cause: cause,
+			})
+		}
+		flight.AtTick(func() { m.ScanTransitions(timeseries.CauseHoldExpired) })
+	}
 }
 
 // attachHermesGauges registers pull-style metrics over the Hermes control
