@@ -1,0 +1,345 @@
+package hermes
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// chaosTopo is a 2x2 fabric where a spine-0 blackhole eats half of ECMP's
+// hash space and part of every Presto* spray — enough for a clear goodput dip.
+func chaosTopo() Topology {
+	return Topology{
+		Leaves: 2, Spines: 2, HostsPerLeaf: 4,
+		HostRateBps: 1e9, FabricRateBps: 2e9,
+		HostDelayNs: 2000, FabricDelayNs: 2000,
+	}
+}
+
+func chaosConfig(scheme Scheme, scenario *Scenario) Config {
+	return Config{
+		Topology: chaosTopo(), Scheme: scheme,
+		Workload: "web-search", Load: 0.5,
+		Flows: flowCount(60, 40), Seed: 11,
+		Scenario:       scenario,
+		DrainTimeoutNs: 300e6,
+	}
+}
+
+// TestChaosBlackholeRecoveryAcceptance reproduces the §5.3.3 ordering under
+// the scenario engine: with an identical blackhole timeline and seed, Hermes
+// detects and reroutes within a few RTOs while ECMP and Presto* — blind to
+// path health — stay in the goodput dip long after (Presto* until traffic
+// ends). The acceptance bound: Hermes's detection and reroute latencies are
+// finite and at least 5x smaller than the baselines' dip durations.
+func TestChaosBlackholeRecoveryAcceptance(t *testing.T) {
+	scenario, err := BuiltinScenario("spine-blackhole", chaosTopo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recoveryOf := func(scheme Scheme) *EventRecovery {
+		res := mustRun(t, chaosConfig(scheme, scenario))
+		if res.Recovery == nil || len(res.Recovery.Events) != 1 {
+			t.Fatalf("%s: Recovery missing or wrong arity: %+v", scheme, res.Recovery)
+		}
+		e := &res.Recovery.Events[0]
+		t.Logf("%-8s detect=%6.2fms reroute=%6.2fms dip: depth=%.2f dur=%6.2fms integral=%.1f Gbps*ms",
+			scheme, float64(e.TimeToDetectNs)/1e6, float64(e.TimeToRerouteNs)/1e6,
+			e.DipDepth, float64(e.DipDurationNs)/1e6, e.DipIntegralGbpsMs)
+		return e
+	}
+
+	hermes := recoveryOf(SchemeHermes)
+	if hermes.TimeToDetectNs < 0 {
+		t.Fatal("hermes never detected the blackhole")
+	}
+	if hermes.TimeToRerouteNs < 0 {
+		t.Fatal("hermes never rerouted off the blackholed paths")
+	}
+
+	for _, blind := range []Scheme{SchemeECMP, SchemePresto} {
+		e := recoveryOf(blind)
+		if e.TimeToDetectNs >= 0 {
+			t.Errorf("%s claims a detection transition; it has no path-state machine", blind)
+		}
+		if e.DipDurationNs <= 0 {
+			t.Fatalf("%s rode through a spine blackhole (dip %d); scenario too weak",
+				blind, e.DipDurationNs)
+		}
+		if e.DipDurationNs < 5*hermes.TimeToDetectNs {
+			t.Errorf("%s dip %dns is not ≥5x hermes detect %dns",
+				blind, e.DipDurationNs, hermes.TimeToDetectNs)
+		}
+		if e.DipDurationNs < 5*hermes.TimeToRerouteNs {
+			t.Errorf("%s dip %dns is not ≥5x hermes reroute %dns",
+				blind, e.DipDurationNs, hermes.TimeToRerouteNs)
+		}
+	}
+}
+
+// TestChaosRecoveryDeterministicParallel extends the worker-pool determinism
+// guarantee to the chaos engine: Result.Recovery and the flight recording of
+// a two-failure scenario must be byte-identical between sequential Run and
+// RunParallel for every seed.
+func TestChaosRecoveryDeterministicParallel(t *testing.T) {
+	scenario, err := BuiltinScenario("multi", chaosTopo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := chaosConfig(SchemeHermes, scenario)
+	cfg.Flows = flowCount(80, 50)
+	seeds := Seeds(3, 3)
+	if testing.Short() {
+		seeds = Seeds(3, 2)
+	}
+
+	seqRecovery := make([][]byte, len(seeds))
+	seqSeries := make([][]byte, len(seeds))
+	for i, seed := range seeds {
+		c := cfg
+		c.Seed = seed
+		res := mustRun(t, c)
+		if res.Recovery == nil || len(res.Recovery.Events) != 2 {
+			t.Fatalf("seed %d: want 2 recovery events, got %+v", seed, res.Recovery)
+		}
+		b, err := json.Marshal(res.Recovery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqRecovery[i] = b
+		seqSeries[i] = timeseriesBytes(t, res.TimeSeries)
+	}
+
+	par, err := RunParallel(cfg, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range par {
+		b, err := json.Marshal(res.Recovery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(seqRecovery[i], b) {
+			t.Errorf("seed %d: Recovery differs between sequential and parallel:\nseq: %s\npar: %s",
+				seeds[i], seqRecovery[i], b)
+		}
+		if !bytes.Equal(seqSeries[i], timeseriesBytes(t, res.TimeSeries)) {
+			t.Errorf("seed %d: flight recording differs between sequential and parallel", seeds[i])
+		}
+	}
+}
+
+// TestChaosScenarioValidation: malformed failure parameters and impossible
+// timelines come back as errors from Run, never panics or silent clamps.
+func TestChaosScenarioValidation(t *testing.T) {
+	base := Config{
+		Topology: chaosTopo(), Scheme: SchemeECMP,
+		Workload: "web-search", Load: 0.5, Flows: 20, Seed: 1,
+	}
+	expectErr := func(name string, cfg Config, want string) {
+		t.Helper()
+		_, err := Run(cfg)
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+		} else if !strings.Contains(err.Error(), want) {
+			t.Errorf("%s: error %q does not mention %q", name, err, want)
+		}
+	}
+
+	bad := base
+	bad.Failure = FailureSpec{Kind: FailureBlackhole, Spine: 99}
+	expectErr("static spine out of range", bad, "out of range")
+
+	bad = base
+	bad.Failure = FailureSpec{Kind: FailureRandomDrop, DropRate: -0.5}
+	expectErr("static negative rate", bad, "DropRate")
+
+	bad = base
+	bad.Failure = FailureSpec{Kind: FailureCutLink, CutLeaf: 7, CutSpine: 0}
+	expectErr("static leaf out of range", bad, "CutLeaf")
+
+	bad = base
+	bad.Failure = FailureSpec{Kind: FailureFlap, FlapPeriodNs: 10e6, FlapDownNs: 20e6}
+	expectErr("flap down >= period", bad, "FlapDownNs")
+
+	bad = base
+	bad.Scenario = &Scenario{Name: "bad", Events: []ScenarioEvent{
+		{AtNs: 1e6, Name: "x", Failure: FailureSpec{Kind: FailureRandomDrop, Spine: -2}},
+	}}
+	expectErr("scenario spine out of range", bad, "out of range")
+
+	bad = base
+	bad.Scenario = &Scenario{Name: "bad", Events: []ScenarioEvent{
+		{AtNs: 1e6, Name: "x", Failure: FailureSpec{Kind: FailureFlap}},
+	}}
+	expectErr("flap as scenario injection", bad, "event machinery")
+
+	bad = base
+	bad.Failure = FailureSpec{Kind: FailureFlap, CutLeaf: 0, CutSpine: 0}
+	bad.Scenario = &Scenario{Name: "also", Events: []ScenarioEvent{
+		{AtNs: 1e6, Name: "x", Failure: FailureSpec{Kind: FailureRandomDrop}},
+	}}
+	expectErr("flap sugar combined with scenario", bad, "scenario sugar")
+
+	// A one-shot event past the end of the run is a scenario bug, not a
+	// silently empty recovery report.
+	bad = base
+	bad.Scenario = &Scenario{Name: "late", Events: []ScenarioEvent{
+		{AtNs: int64(3600e9), Name: "x", Failure: FailureSpec{Kind: FailureRandomDrop}},
+	}}
+	expectErr("event past run end", bad, "never fired")
+
+	bad = base
+	bad.Scenario = &Scenario{Name: "dangling", Events: []ScenarioEvent{
+		{AtNs: 1e6, Clear: "ghost"},
+	}}
+	expectErr("clear without inject", bad, "ghost")
+}
+
+// TestChaosSwitchDownSugar: the static spine-down failure kind lowers onto
+// the scenario machinery and still produces a recovery report.
+func TestChaosSwitchDownSugar(t *testing.T) {
+	cfg := chaosConfig(SchemeHermes, nil)
+	cfg.Flows = flowCount(80, 50)
+	cfg.Failure = FailureSpec{Kind: FailureSpineDown, Spine: 1}
+	res := mustRun(t, cfg)
+	if res.Recovery == nil || len(res.Recovery.Events) != 1 {
+		t.Fatalf("Recovery missing for spine-down sugar: %+v", res.Recovery)
+	}
+	e := res.Recovery.Events[0]
+	if e.Kind != "spine-down" || e.OnsetNs != 0 || e.ClearNs != -1 {
+		t.Errorf("unexpected activation record: %+v", e)
+	}
+	if res.FCT.Unfinished != 0 {
+		t.Errorf("%d flows stranded: hermes must route around a dead spine", res.FCT.Unfinished)
+	}
+	// Sugar kinds keep their static failure tag in the flight metadata.
+	if res.TimeSeries.Meta.Failure != "spine-down" {
+		t.Errorf("Meta.Failure = %q", res.TimeSeries.Meta.Failure)
+	}
+}
+
+// TestRunChaosMatrix: the resilience matrix sweeps schemes x scenarios x
+// seeds on one pool, scores every cell against the scheme's clean baseline,
+// and ranks Hermes ahead of the detection-blind schemes — the §5.3.2/§5.3.3
+// ordering. Also pins pool-size independence and the scorecard rendering.
+func TestRunChaosMatrix(t *testing.T) {
+	base := chaosConfig(SchemeHermes, nil)
+	base.Flows = flowCount(60, 40)
+	spineBH, err := BuiltinScenario("spine-blackhole", base.Topology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropRec, err := BuiltinScenario("drop-recover", base.Topology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := ChaosMatrixConfig{
+		Base:      base,
+		Schemes:   []Scheme{SchemeHermes, SchemeECMP, SchemePresto},
+		Scenarios: []*Scenario{spineBH, dropRec},
+		Seeds:     Seeds(11, 2),
+	}
+	m, err := RunChaosMatrix(context.Background(), mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Cells) != 6 {
+		t.Fatalf("%d cells, want 6", len(m.Cells))
+	}
+	for _, scheme := range mc.Schemes {
+		if m.BaselineP99Ms[scheme] <= 0 {
+			t.Errorf("%s: clean baseline p99 missing", scheme)
+		}
+	}
+	hermes := m.Cell(SchemeHermes, "spine-blackhole")
+	if hermes.DetectedRuns != hermes.Runs || hermes.MeanDetectMs < 0 {
+		t.Errorf("hermes detected %d/%d runs (mean %.2fms); want all",
+			hermes.DetectedRuns, hermes.Runs, hermes.MeanDetectMs)
+	}
+	for _, blind := range []Scheme{SchemeECMP, SchemePresto} {
+		c := m.Cell(blind, "spine-blackhole")
+		if c.DetectedRuns != 0 || c.MeanDetectMs >= 0 {
+			t.Errorf("%s claims detection under spine-blackhole: %+v", blind, c)
+		}
+		if c.WorstDipMs.Mean <= hermes.WorstDipMs.Mean {
+			t.Errorf("%s dip %.2fms not worse than hermes %.2fms",
+				blind, c.WorstDipMs.Mean, hermes.WorstDipMs.Mean)
+		}
+	}
+	if m.Ranking[0].Scheme != SchemeHermes {
+		t.Errorf("ranking[0] = %s, want hermes (ranking: %+v)", m.Ranking[0].Scheme, m.Ranking)
+	}
+
+	// Worker count must not leak into the matrix.
+	mc2 := mc
+	mc2.Options = ParallelOptions{Workers: 1}
+	m2, err := RunChaosMatrix(context.Background(), mc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(m)
+	jb, _ := json.Marshal(m2)
+	if !bytes.Equal(ja, jb) {
+		t.Errorf("matrix differs by worker count:\n%s\n%s", ja, jb)
+	}
+
+	var buf bytes.Buffer
+	if err := m.RenderText(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"recovery scorecard", "spine-blackhole", "drop-recover",
+		"hermes", "ecmp", "presto", "ranking"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scorecard missing %q:\n%s", want, out)
+		}
+	}
+
+	// Config validation: empty axes and unnamed scenarios are errors.
+	if _, err := RunChaosMatrix(context.Background(), ChaosMatrixConfig{Base: base}); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	bad := mc
+	bad.Scenarios = []*Scenario{{Events: spineBH.Events}}
+	if _, err := RunChaosMatrix(context.Background(), bad); err == nil {
+		t.Error("unnamed scenario accepted")
+	}
+	bad = mc
+	bad.Scenarios = []*Scenario{spineBH, spineBH}
+	if _, err := RunChaosMatrix(context.Background(), bad); err == nil {
+		t.Error("duplicate scenario names accepted")
+	}
+}
+
+// TestRandomScenarioDeterministic: the generated timeline is a pure function
+// of (topology, seed, intensity) and passes its own validation end to end.
+func TestRandomScenarioDeterministic(t *testing.T) {
+	a := RandomScenario(chaosTopo(), 42, 0.8)
+	b := RandomScenario(chaosTopo(), 42, 0.8)
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("same seed, different scenario:\n%s\n%s", ja, jb)
+	}
+	if c := RandomScenario(chaosTopo(), 43, 0.8); func() bool {
+		jc, _ := json.Marshal(c)
+		return bytes.Equal(ja, jc)
+	}() {
+		t.Error("different seeds produced identical scenarios")
+	}
+
+	cfg := chaosConfig(SchemeHermes, a)
+	cfg.Flows = flowCount(80, 50)
+	res := mustRun(t, cfg)
+	if res.Recovery == nil || len(res.Recovery.Events) == 0 {
+		t.Fatal("random scenario produced no recovery events")
+	}
+	for _, e := range res.Recovery.Events {
+		if e.ClearNs < 0 {
+			t.Errorf("random scenario event %q never cleared", e.Name)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// hermes-chaos runs the scheme x failure resilience matrix: every scheme
+// under every chaos scenario across several seeds (plus one clean baseline
+// per scheme), scored by detection latency, reroute latency, goodput-dip
+// depth/duration/cost and p99 FCT inflation — the §5.3.2/§5.3.3 resilience
+// questions as one scorecard.
+//
+// Examples:
+//
+//	hermes-chaos                                       # default matrix
+//	hermes-chaos -schemes hermes,ecmp -scenarios spine-blackhole,multi
+//	hermes-chaos -scenarios random -chaos-intensity 0.8 -seeds 5
+//	hermes-chaos -json -out matrix.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	hermes "github.com/hermes-repro/hermes"
+)
+
+func main() {
+	var (
+		schemesFlag   = flag.String("schemes", "hermes,ecmp,presto,conga,letflow", "comma-separated schemes to compare")
+		scenariosFlag = flag.String("scenarios", "spine-blackhole,blackhole-recover,drop-recover,multi", `comma-separated builtin scenarios (see -list), plus "random"`)
+		listFlag      = flag.Bool("list", false, "list builtin scenarios and exit")
+		topoName      = flag.String("topology", "chaos", `"chaos" (2x2, 1G hosts), "testbed" (2x2, 1G), "small" (4x4, 10G) or "large" (8x8, 10G)`)
+		workload      = flag.String("workload", "web-search", "web-search|data-mining")
+		load          = flag.Float64("load", 0.5, "offered load as a fraction of bisection bandwidth")
+		flows         = flag.Int("flows", 100, "flows per run")
+		seedBase      = flag.Int64("seed", 11, "base seed")
+		seedCount     = flag.Int("seeds", 3, "seeds per cell")
+		intensity     = flag.Float64("chaos-intensity", 0.5, `severity of the "random" scenario, 0..1`)
+		workers       = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+		width         = flag.Int("width", 40, "scorecard chart width")
+		jsonOut       = flag.Bool("json", false, "emit the matrix as JSON instead of the text scorecard")
+		outFile       = flag.String("out", "", "write the output to this file instead of stdout")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		fmt.Println("builtin scenarios:", strings.Join(hermes.ScenarioNames(), " "))
+		fmt.Println(`plus "random" (use -chaos-intensity and -seed)`)
+		return
+	}
+
+	var topo hermes.Topology
+	switch *topoName {
+	case "chaos":
+		topo = hermes.Topology{Leaves: 2, Spines: 2, HostsPerLeaf: 4,
+			HostRateBps: 1e9, FabricRateBps: 2e9, HostDelayNs: 2000, FabricDelayNs: 2000}
+	case "testbed":
+		topo = hermes.TestbedTopology()
+	case "small":
+		topo = hermes.Topology{Leaves: 4, Spines: 4, HostsPerLeaf: 8,
+			HostRateBps: 10e9, FabricRateBps: 10e9, HostDelayNs: 2000, FabricDelayNs: 2000}
+	case "large":
+		topo = hermes.LargeScaleTopology()
+	default:
+		log.Fatalf("unknown topology %q", *topoName)
+	}
+
+	var schemes []hermes.Scheme
+	for _, s := range strings.Split(*schemesFlag, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			schemes = append(schemes, hermes.Scheme(s))
+		}
+	}
+	var scenarios []*hermes.Scenario
+	for _, name := range strings.Split(*scenariosFlag, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if name == "random" {
+			scenarios = append(scenarios, hermes.RandomScenario(topo, *seedBase, *intensity))
+			continue
+		}
+		sc, err := hermes.BuiltinScenario(name, topo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scenarios = append(scenarios, sc)
+	}
+
+	m, err := hermes.RunChaosMatrix(context.Background(), hermes.ChaosMatrixConfig{
+		Base: hermes.Config{
+			Topology: topo, Workload: *workload, Load: *load,
+			Flows: *flows, DrainTimeoutNs: 300e6,
+		},
+		Schemes:   schemes,
+		Scenarios: scenarios,
+		Seeds:     hermes.Seeds(*seedBase, *seedCount),
+		Options:   hermes.ParallelOptions{Workers: *workers},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(m); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := m.RenderText(w, *width); err != nil {
+		log.Fatal(err)
+	}
+}

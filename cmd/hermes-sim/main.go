@@ -32,7 +32,7 @@ func main() {
 		flowlet  = flag.Int64("flowlet-us", 0, "flowlet timeout override in microseconds (CONGA/LetFlow/CLOVE)")
 		maxFlow  = flag.Int64("max-flow-bytes", 0, "flow size cap (0 = workload default)")
 
-		failKind = flag.String("failure", "", "''|random-drop|blackhole|degrade|cut-link|cut-cable|degrade-link|degrade-spine|flap")
+		failKind = flag.String("failure", "", "''|random-drop|blackhole|spine-blackhole|degrade|cut-link|cut-cable|degrade-link|degrade-spine|flap|spine-down|leaf-down")
 		spine    = flag.Int("spine", -1, "failed spine index (-1 = random)")
 		dropRate = flag.Float64("drop-rate", 0.02, "silent random drop probability")
 		frac     = flag.Float64("degrade-fraction", 0.2, "fraction of fabric links degraded")
@@ -41,6 +41,10 @@ func main() {
 		cutSpine = flag.Int("cut-spine", 0, "spine side of the cut link")
 		flapUs   = flag.Int64("flap-period-us", 0, "flap cycle period in microseconds (failure=flap)")
 		flapDown = flag.Int64("flap-down-us", 0, "degraded time per flap cycle in microseconds (failure=flap)")
+
+		scenarioName = flag.String("scenario", "", `chaos scenario: a builtin name (see -scenario list), or "random"`)
+		scenarioFile = flag.String("scenario-file", "", "load a chaos Scenario timeline from a JSON file (overrides -scenario)")
+		intensity    = flag.Float64("chaos-intensity", 0.5, "severity of -scenario random, 0..1")
 
 		visibility   = flag.Bool("visibility", false, "measure Table 2 visibility")
 		jsonOut      = flag.Bool("json", false, "emit JSON instead of text")
@@ -59,6 +63,12 @@ func main() {
 		configFile   = flag.String("config", "", "load the full experiment Config from a JSON file (overrides other flags)")
 	)
 	flag.Parse()
+
+	if *scenarioName == "list" {
+		fmt.Println("builtin scenarios:", strings.Join(hermes.ScenarioNames(), " "))
+		fmt.Println(`plus "random" (use -chaos-intensity and -seed)`)
+		return
+	}
 
 	var topo hermes.Topology
 	switch *topoName {
@@ -119,6 +129,27 @@ func main() {
 		},
 	}
 
+	switch {
+	case *scenarioFile != "":
+		data, err := os.ReadFile(*scenarioFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var sc hermes.Scenario
+		if err := json.Unmarshal(data, &sc); err != nil {
+			log.Fatalf("parse %s: %v", *scenarioFile, err)
+		}
+		cfg.Scenario = &sc
+	case *scenarioName == "random":
+		cfg.Scenario = hermes.RandomScenario(topo, *seed, *intensity)
+	case *scenarioName != "":
+		sc, err := hermes.BuiltinScenario(*scenarioName, topo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Scenario = sc
+	}
+
 	if traceW != nil {
 		cfg.TraceWriter = traceW
 	}
@@ -165,6 +196,9 @@ func main() {
 		}
 		fileCfg.TraceWriter = cfg.TraceWriter
 		fileCfg.PerfettoWriter = cfg.PerfettoWriter
+		if fileCfg.Scenario == nil {
+			fileCfg.Scenario = cfg.Scenario
+		}
 		fileCfg.TimeSeriesWriter = cfg.TimeSeriesWriter
 		fileCfg.TimeSeriesCSV = cfg.TimeSeriesCSV
 		if fileCfg.TimeSeriesIntervalNs == 0 {
@@ -279,6 +313,27 @@ func main() {
 	if *visibility {
 		fmt.Printf("visibility: switch-pair=%.3f host-pair=%.5f\n",
 			res.VisibilitySwitchPair, res.VisibilityHostPair)
+	}
+	if res.Recovery != nil {
+		ms := func(ns int64) string {
+			if ns < 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+		}
+		fmt.Printf("recovery: scenario=%s traffic-end=%.1fms\n",
+			res.Recovery.Scenario, float64(res.Recovery.TrafficEndNs)/1e6)
+		for _, e := range res.Recovery.Events {
+			clear := "-"
+			if e.ClearNs >= 0 {
+				clear = fmt.Sprintf("%.1fms", float64(e.ClearNs)/1e6)
+			}
+			fmt.Printf("  %-28s onset=%.1fms clear=%s detect=%s reroute=%s dip(depth=%.2f dur=%s cost=%.1fGbps*ms) reconverge=%s restore=%s\n",
+				e.Label, float64(e.OnsetNs)/1e6, clear,
+				ms(e.TimeToDetectNs), ms(e.TimeToRerouteNs),
+				e.DipDepth, ms(e.DipDurationNs), e.DipIntegralGbpsMs,
+				ms(e.ReconvergeNs), ms(e.PathRestoreNs))
+		}
 	}
 	if report != nil {
 		fmt.Println()

@@ -18,10 +18,12 @@ package hermes
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 
+	"github.com/hermes-repro/hermes/internal/chaos"
 	"github.com/hermes-repro/hermes/internal/core"
 	"github.com/hermes-repro/hermes/internal/failure"
 	"github.com/hermes-repro/hermes/internal/metrics"
@@ -127,7 +129,12 @@ const (
 	FailureNone       FailureKind = ""
 	FailureRandomDrop FailureKind = "random-drop"
 	FailureBlackhole  FailureKind = "blackhole"
-	FailureDegrade    FailureKind = "degrade"
+	// FailureSpineBlackhole silently drops everything transiting one spine
+	// while its links stay up — routing still advertises the paths, so
+	// hash-based schemes keep sending into the hole and spray-based schemes
+	// lose packets on every flow. The worst §5.3.3-class malfunction.
+	FailureSpineBlackhole FailureKind = "spine-blackhole"
+	FailureDegrade        FailureKind = "degrade"
 	FailureCutLink    FailureKind = "cut-link"
 	// FailureCutCable removes a single physical cable of a multi-cable
 	// leaf-spine link (the paper's testbed Fig 8b cut).
@@ -137,11 +144,19 @@ const (
 	// of two parallel 1 Gbps cables (2 Gbps -> 1 Gbps, 75% bisection).
 	FailureDegradeLink FailureKind = "degrade-link"
 	// FailureFlap periodically degrades and restores the CutLeaf/CutSpine
-	// link (gray-failure extension; see internal/failure.Flap).
+	// link (gray-failure extension). It is sugar for a repeating scenario
+	// event: Run lowers it onto the chaos engine's Every/Duration machinery.
 	FailureFlap FailureKind = "flap"
 	// FailureDegradeSpine re-rates every link of one spine — the §2.1
 	// "heterogeneous devices" asymmetry (e.g. one older slower spine tier).
 	FailureDegradeSpine FailureKind = "degrade-spine"
+	// FailureSpineDown takes a whole spine switch out of service: all its
+	// links cut and everything transiting it dropped. As a static failure
+	// it onsets at t=0; inside a Scenario it can onset and clear mid-run.
+	FailureSpineDown FailureKind = "spine-down"
+	// FailureLeafDown takes a leaf switch down (CutLeaf selects it, -1 =
+	// random), isolating its whole rack including intra-rack traffic.
+	FailureLeafDown FailureKind = "leaf-down"
 )
 
 // FailureSpec configures the injection.
@@ -203,6 +218,15 @@ type Config struct {
 	// Failure injects a malfunction or asymmetry.
 	Failure FailureSpec
 
+	// Scenario, when non-nil, drives the chaos engine: a declarative
+	// timeline of failure events — several at once, mid-run onset and
+	// recovery, repeats — deterministic per Seed. Setting it implies
+	// TimeSeries (the flight recorder feeds Result.Recovery). Composes
+	// with a static Failure, except flap/spine-down/leaf-down kinds,
+	// which are themselves scenario sugar. (omitempty keeps reports from
+	// scenario-less runs byte-stable.)
+	Scenario *Scenario `json:",omitempty"`
+
 	// DrainTimeoutNs bounds how long the run may continue after the last
 	// flow arrival before unfinished flows are force-recorded (default 2 s
 	// of virtual time).
@@ -260,7 +284,9 @@ type Config struct {
 	// (0 = timeseries.DefaultInterval, 100 us).
 	TimeSeriesIntervalNs int64
 	// TimeSeriesCap bounds the retained samples per series; older samples
-	// fall off a ring (0 = timeseries.DefaultCap).
+	// fall off a ring (0 = timeseries.DefaultCap, or scenarioDefaultCap
+	// when a Scenario is set — recovery metrics need the onset windows to
+	// survive eviction).
 	TimeSeriesCap int
 	// TimeSeriesWriter, when non-nil, receives the recording as JSONL after
 	// the run (implies TimeSeries). Like TraceWriter, writers are rejected
@@ -275,6 +301,13 @@ type Config struct {
 	// interruptible from the public API.
 	ctx context.Context
 }
+
+// scenarioDefaultCap is the flight-recorder ring cap scenario runs default
+// to: ~3.3 s of samples at the stock 100 us interval, vs ~0.8 s from
+// timeseries.DefaultCap. Recovery scoring reads pre-onset baselines out of
+// the ring, so eviction of the onset window would silently zero the dip
+// metrics and misattribute reroutes.
+const scenarioDefaultCap = 32768
 
 // Result carries everything a run measured.
 type Result struct {
@@ -326,7 +359,19 @@ type Result struct {
 	// series, Hermes path census and transition log, transport aggregates —
 	// when Config.TimeSeries (or a time-series writer) was set.
 	TimeSeries *timeseries.Recorder `json:"-"`
+
+	// Recovery scores every scenario failure activation — time-to-detect,
+	// time-to-reroute, goodput-dip depth/duration/integral, post-clear
+	// re-convergence — when Config.Scenario was set (nil otherwise).
+	Recovery *Recovery `json:",omitempty"`
 }
+
+// Recovery and EventRecovery re-export the chaos engine's per-run resilience
+// report so callers can name the types without reaching into internal/.
+type (
+	Recovery      = chaos.Recovery
+	EventRecovery = chaos.EventRecovery
+)
 
 func (t Topology) toNet() net.Config {
 	return net.Config{
@@ -349,6 +394,24 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if cfg.Load <= 0 || cfg.Load > 1.5 {
 		return nil, fmt.Errorf("hermes: Load %v out of range (0, 1.5]", cfg.Load)
+	}
+	if err := validateFailureSpec(cfg.Failure, cfg.Topology); err != nil {
+		return nil, fmt.Errorf("hermes: invalid Failure: %w", err)
+	}
+	// Timed failure kinds are sugar for a Scenario; lower them here so the
+	// chaos runner is the single code path for everything time-varying.
+	spec, scenario := cfg.Failure, cfg.Scenario
+	switch spec.Kind {
+	case FailureFlap, FailureSpineDown, FailureLeafDown:
+		if scenario != nil {
+			return nil, fmt.Errorf("hermes: Failure kind %q is scenario sugar and cannot combine with Config.Scenario; add it as a scenario event instead", spec.Kind)
+		}
+		if spec.Kind == FailureFlap {
+			scenario = flapScenario(spec, cfg.Topology)
+		} else {
+			scenario = switchDownScenario(spec)
+		}
+		spec = FailureSpec{}
 	}
 	var dist *workload.CDF
 	var err error
@@ -384,7 +447,7 @@ func Run(cfg Config) (*Result, error) {
 
 	// Topology-shaping failures must precede balancer construction so path
 	// sets and weights see the final fabric.
-	if err := injectTopologyFailure(nw, rng, cfg.Failure); err != nil {
+	if err := injectTopologyFailure(nw, rng, spec); err != nil {
 		return nil, err
 	}
 
@@ -395,9 +458,18 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	var flight *timeseries.Recorder
-	if cfg.TimeSeries || cfg.TimeSeriesWriter != nil || cfg.TimeSeriesCSV != nil {
+	if cfg.TimeSeries || cfg.TimeSeriesWriter != nil || cfg.TimeSeriesCSV != nil ||
+		scenario != nil {
+		tsCap := cfg.TimeSeriesCap
+		if tsCap == 0 && scenario != nil {
+			// Recovery metrics need the pre-onset baseline and the reroute
+			// counters' pre-onset base to survive ring eviction; the stock
+			// cap covers only ~0.8 s of samples. Runs longer than ~3 s
+			// should still set TimeSeriesCap (or a coarser interval).
+			tsCap = scenarioDefaultCap
+		}
 		flight = timeseries.NewRecorder(eng,
-			sim.Time(cfg.TimeSeriesIntervalNs), cfg.TimeSeriesCap, 0)
+			sim.Time(cfg.TimeSeriesIntervalNs), tsCap, 0)
 		nw.AttachFlightRecorder(flight)
 	}
 
@@ -456,8 +528,38 @@ func Run(cfg Config) (*Result, error) {
 	wiring.afterTransport(nw, rng)
 
 	// Switch-malfunction failures can be installed any time before traffic.
-	if err := injectSwitchFailure(nw, rng, cfg.Failure); err != nil {
+	if err := injectSwitchFailure(nw, rng, spec); err != nil {
 		return nil, err
+	}
+
+	// Scenario events ride the engine timeline: inject/clear fire at their
+	// scheduled virtual times, interleaved with traffic.
+	var runner *chaos.Runner
+	if scenario != nil {
+		cs, err := scenario.toChaos(cfg.Topology)
+		if err != nil {
+			return nil, err
+		}
+		runner = chaos.NewRunner(chaos.Env{Net: nw, Rng: rng}, cs)
+		if rd != nil {
+			// Stamp activations into the decision audit log so verdicts can
+			// be read against the failures that actually happened.
+			runner.OnEvent = func(a *chaos.Applied, cleared bool) {
+				e := telemetry.AuditEntry{
+					At: a.OnsetNs, Kind: telemetry.AuditChaos,
+					Reason: telemetry.ReasonInject,
+					Host:   -1, DstLeaf: -1, FromPath: -1, ToPath: -1,
+					Note: a.Name + " " + a.Label,
+				}
+				if cleared {
+					e.At, e.Reason = a.ClearNs, telemetry.ReasonClear
+				}
+				rd.Audit.Add(e)
+			}
+		}
+		if err := runner.Install(eng); err != nil {
+			return nil, fmt.Errorf("hermes: scenario %q: %w", scenario.Name, err)
+		}
 	}
 
 	rec := &metrics.FCTRecorder{}
@@ -583,18 +685,43 @@ func Run(cfg Config) (*Result, error) {
 		// always appears, then stamp identity for the exports.
 		flight.Stop()
 		flight.Snap()
+		failureTag := string(cfg.Failure.Kind)
+		if scenario != nil && cfg.Failure.Kind == FailureNone {
+			failureTag = "scenario:" + scenario.Name
+		}
 		flight.Meta = timeseries.Meta{
 			Schema:        timeseries.Schema,
 			Scheme:        string(cfg.Scheme),
 			Workload:      cfg.Workload,
 			Load:          cfg.Load,
 			Seed:          cfg.Seed,
-			Failure:       string(cfg.Failure.Kind),
+			Failure:       failureTag,
 			IntervalNs:    int64(flight.Interval),
 			Cap:           flight.Cap,
 			SimDurationNs: int64(eng.Now()),
 		}
 		res.TimeSeries = flight
+		if runner != nil {
+			if errs := runner.Finish(eng.Now()); len(errs) > 0 {
+				return nil, fmt.Errorf("hermes: scenario %q: %w",
+					scenario.Name, errors.Join(errs...))
+			}
+			trafficEnd := int64(lastArrival)
+			if trafficEnd == 0 {
+				trafficEnd = int64(eng.Now())
+			}
+			// Smooth goodput over ~5 ms of samples so elephant-flow bursts
+			// do not end a dip that is still structurally there.
+			smooth := int(5 * sim.Millisecond / flight.Interval)
+			if smooth < chaos.DefaultSmooth {
+				smooth = chaos.DefaultSmooth
+			}
+			res.Recovery = chaos.Compute(flight, runner.Log, chaos.Options{
+				Cables: nw.Cables(), TrafficEndNs: trafficEnd,
+				BaselineWindowNs: 10e6, Smooth: smooth,
+			})
+			res.Recovery.Scenario = scenario.Name
+		}
 		if cfg.TimeSeriesWriter != nil {
 			if err := flight.WriteJSONL(cfg.TimeSeriesWriter); err != nil {
 				return nil, err
@@ -656,7 +783,7 @@ func Run(cfg Config) (*Result, error) {
 
 func injectTopologyFailure(nw *net.Network, rng *sim.RNG, spec FailureSpec) error {
 	switch spec.Kind {
-	case FailureNone, FailureRandomDrop, FailureBlackhole:
+	case FailureNone, FailureRandomDrop, FailureBlackhole, FailureSpineBlackhole:
 		return nil
 	case FailureDegrade:
 		frac, bps := spec.Fraction, spec.DegradedBps
@@ -685,22 +812,14 @@ func injectTopologyFailure(nw *net.Network, rng *sim.RNG, spec FailureSpec) erro
 		}
 		nw.SetFabricLink(spec.CutLeaf, spec.CutSpine, bps)
 		return nil
-	case FailureFlap:
-		(&failure.Flap{
-			Net: nw, Leaf: spec.CutLeaf, Spine: spec.CutSpine,
-			Period:      spec.FlapPeriodNs,
-			DownFor:     spec.FlapDownNs,
-			DegradedBps: spec.DegradedBps,
-		}).Start()
-		return nil
 	case FailureDegradeSpine:
 		bps := spec.DegradedBps
 		if bps <= 0 {
 			bps = 2_000_000_000
 		}
 		spine := spec.Spine
-		if spine < 0 || spine >= nw.Cfg.Spines {
-			spine = 0
+		if spine < 0 {
+			spine = rng.Intn(nw.Cfg.Spines)
 		}
 		for l := 0; l < nw.Cfg.Leaves; l++ {
 			nw.SetFabricLink(l, spine, bps)
@@ -732,6 +851,11 @@ func injectSwitchFailure(nw *net.Network, rng *sim.RNG, spec FailureSpec) error 
 		(&failure.Blackhole{
 			Spine: pickSpine(),
 			Match: failure.RackPairBlackhole(nw, src, dst),
+		}).Install()
+	case FailureSpineBlackhole:
+		(&failure.Blackhole{
+			Spine: pickSpine(),
+			Match: func(src, dst int) bool { return true },
 		}).Install()
 	}
 	return nil

@@ -274,9 +274,9 @@ func TestTimeoutTriggersRerouteAndClearsFlag(t *testing.T) {
 	})
 	// Every spine drops data during the first 30 ms, forcing RTOs.
 	for s := range nw.Spines {
-		nw.Spines[s].DropFn = func(pk *net.Packet) bool {
+		nw.Spines[s].AddDropFn(func(pk *net.Packet) bool {
 			return eng.Now() < 30*sim.Millisecond && pk.Kind == net.Data
-		}
+		})
 	}
 	f := tr.StartFlow(0, 2, 100_000)
 	eng.Run(200 * sim.Millisecond)
@@ -517,7 +517,7 @@ func TestProberDetectsLossyPath(t *testing.T) {
 	eng, nw, mons, _ := proberSetup(t, 500*sim.Microsecond)
 	// Drop every data-class packet through spine 2 (probes ride the data
 	// class; echoes are high priority but also traverse it).
-	nw.Spines[2].DropFn = func(p *net.Packet) bool { return p.Kind == net.Probe }
+	nw.Spines[2].AddDropFn(func(p *net.Packet) bool { return p.Kind == net.Probe })
 	eng.Run(100 * sim.Millisecond)
 	if got := mons[0].Type(1, 2); got != Failed {
 		t.Fatalf("fully probe-dropping path = %v, want failed", got)

@@ -1,6 +1,8 @@
 // Package failure injects the switch malfunctions of §2.1: silent random
 // packet drops and deterministic packet blackholes at a core (spine) switch,
-// plus link degradation helpers for asymmetric topologies.
+// plus link degradation helpers for asymmetric topologies. Injectors
+// register through the switch's drop-hook chain, so several can coexist on
+// one switch; timed onset/clear sequencing lives in internal/chaos.
 package failure
 
 import (
@@ -19,18 +21,34 @@ type RandomDrop struct {
 
 	Dropped uint64
 	Seen    uint64
+
+	hook      int
+	installed bool
 }
 
-// Install hooks the drop function onto the switch.
+// Install hooks the drop function onto the switch (idempotent).
 func (r *RandomDrop) Install() {
-	r.Spine.DropFn = func(p *net.Packet) bool {
+	if r.installed {
+		return
+	}
+	r.installed = true
+	r.hook = r.Spine.AddDropFn(func(p *net.Packet) bool {
 		r.Seen++
 		if r.Rng.Float64() < r.Rate {
 			r.Dropped++
 			return true
 		}
 		return false
+	})
+}
+
+// Uninstall removes the hook, restoring the switch to health.
+func (r *RandomDrop) Uninstall() {
+	if !r.installed {
+		return
 	}
+	r.installed = false
+	r.Spine.RemoveDropFn(r.hook)
 }
 
 // Blackhole deterministically drops packets whose (src, dst) pair matches
@@ -42,17 +60,33 @@ type Blackhole struct {
 	Match func(src, dst int) bool
 
 	Dropped uint64
+
+	hook      int
+	installed bool
 }
 
-// Install hooks the drop function onto the switch.
+// Install hooks the drop function onto the switch (idempotent).
 func (b *Blackhole) Install() {
-	b.Spine.DropFn = func(p *net.Packet) bool {
+	if b.installed {
+		return
+	}
+	b.installed = true
+	b.hook = b.Spine.AddDropFn(func(p *net.Packet) bool {
 		if b.Match(p.Src, p.Dst) {
 			b.Dropped++
 			return true
 		}
 		return false
+	})
+}
+
+// Uninstall removes the hook, restoring the switch to health.
+func (b *Blackhole) Uninstall() {
+	if !b.installed {
+		return
 	}
+	b.installed = false
+	b.Spine.RemoveDropFn(b.hook)
 }
 
 // RackPairBlackhole returns the §5.3.3 predicate: drop traffic (in both
@@ -105,48 +139,4 @@ func CutLink(nw *net.Network, leaf, spine int) {
 // unplugged, leaving 3 of 4 paths and 75% of the bisection.
 func CutCable(nw *net.Network, leaf, spine, cable int) {
 	nw.SetCable(leaf, spine, cable, 0)
-}
-
-// Flap periodically degrades and restores one leaf-spine link — the
-// transient "gray failure" pattern production fabrics exhibit during
-// maintenance or marginal optics. Each period the link spends DownFor at
-// DegradedBps (0 = cut) and the rest at its original rate. Flapping
-// exercises a balancer's detection *and* recovery: schemes with sticky
-// avoidance waste capacity after restoration, schemes without detection
-// suffer during each dip.
-type Flap struct {
-	Net         *net.Network
-	Leaf, Spine int
-	Period      sim.Time
-	DownFor     sim.Time
-	DegradedBps int64
-
-	Cycles   int // 0 = forever
-	original int64
-	count    int
-}
-
-// Start begins the flapping cycle.
-func (f *Flap) Start() {
-	f.original = f.Net.FabricLinkRate(f.Leaf, f.Spine)
-	if f.Period <= 0 {
-		f.Period = 500 * sim.Millisecond
-	}
-	if f.DownFor <= 0 || f.DownFor >= f.Period {
-		f.DownFor = f.Period / 2
-	}
-	f.Net.Eng.Schedule(f.Period-f.DownFor, f.down)
-}
-
-func (f *Flap) down() {
-	f.Net.SetFabricLink(f.Leaf, f.Spine, f.DegradedBps)
-	f.Net.Eng.Schedule(f.DownFor, f.up)
-}
-
-func (f *Flap) up() {
-	f.Net.SetFabricLink(f.Leaf, f.Spine, f.original)
-	f.count++
-	if f.Cycles == 0 || f.count < f.Cycles {
-		f.Net.Eng.Schedule(f.Period-f.DownFor, f.down)
-	}
 }

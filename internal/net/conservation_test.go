@@ -85,7 +85,7 @@ func TestConservationMidFlight(t *testing.T) {
 // spine swallows packets via DropFn, and the ledger must count them.
 func TestConservationSwitchDrops(t *testing.T) {
 	eng, nw := conservationFabric(t)
-	nw.Spines[0].DropFn = func(p *Packet) bool { return p.Kind == Data }
+	nw.Spines[0].AddDropFn(func(p *Packet) bool { return p.Kind == Data })
 	const n = 50
 	for i := 0; i < n; i++ {
 		pkt := nw.AllocPacket()

@@ -54,6 +54,9 @@ func (h *Host) Network() *Network { return h.net }
 
 func (h *Host) deliver(pkt *Packet) {
 	h.net.delivered++
+	if pkt.Kind == Data || pkt.Kind == UDPData {
+		h.net.deliveredPayload += uint64(pkt.Payload)
+	}
 	if h.net.acct != nil {
 		h.net.acct.observe(pkt)
 	}
@@ -77,16 +80,64 @@ type Switch struct {
 	up   []*Port
 	down []*Port
 
-	// DropFn models switch malfunctions (§2.1): returning true silently
-	// drops the packet. Used by the blackhole and random-drop injectors.
-	DropFn func(*Packet) bool
+	// dropFns are the registered malfunction hooks (§2.1): a packet is
+	// silently dropped when ANY hook claims it. Every hook sees every
+	// transiting packet — there is no short-circuit — so co-resident
+	// injectors (e.g. a blackhole and a random-drop on the same spine)
+	// each observe the full stream and keep accurate counters. Register
+	// with AddDropFn, unregister with RemoveDropFn.
+	dropFns    []dropHook
+	nextDropID int
 
-	// Drops counts packets DropFn swallowed (silent switch drops). Part of
-	// the packet-conservation invariant.
+	// Drops counts packets the malfunction hooks swallowed (silent switch
+	// drops). Part of the packet-conservation invariant.
 	Drops uint64
 
 	// Balancer, on leaf switches, performs in-switch path selection.
 	Balancer SwitchBalancer
+}
+
+// dropHook is one registered malfunction predicate with a handle for
+// removal.
+type dropHook struct {
+	id int
+	fn func(*Packet) bool
+}
+
+// AddDropFn registers a malfunction hook on this switch and returns a handle
+// for RemoveDropFn. Hooks compose: each one is consulted for every transiting
+// packet, and the packet is dropped if any claims it.
+func (s *Switch) AddDropFn(fn func(*Packet) bool) int {
+	s.nextDropID++
+	s.dropFns = append(s.dropFns, dropHook{id: s.nextDropID, fn: fn})
+	return s.nextDropID
+}
+
+// RemoveDropFn unregisters the hook with the given handle. Unknown handles
+// are ignored (clearing an injector twice is harmless).
+func (s *Switch) RemoveDropFn(id int) {
+	for i, h := range s.dropFns {
+		if h.id == id {
+			s.dropFns = append(s.dropFns[:i], s.dropFns[i+1:]...)
+			return
+		}
+	}
+}
+
+// DropFnCount returns the number of registered malfunction hooks.
+func (s *Switch) DropFnCount() int { return len(s.dropFns) }
+
+// ConsultDropFns runs every registered hook against pkt (no short-circuit,
+// so each injector sees the full packet stream) and reports whether any
+// claimed it. It does not count the drop or free the packet; receive() does.
+func (s *Switch) ConsultDropFns(pkt *Packet) bool {
+	drop := false
+	for _, h := range s.dropFns {
+		if h.fn(pkt) {
+			drop = true
+		}
+	}
+	return drop
 }
 
 // Uplink returns the port toward spine s (leaf switches only).
@@ -96,7 +147,7 @@ func (s *Switch) Uplink(spine int) *Port { return s.up[spine] }
 func (s *Switch) Downlink(i int) *Port { return s.down[i] }
 
 func (s *Switch) receive(pkt *Packet) {
-	if s.DropFn != nil && s.DropFn(pkt) {
+	if len(s.dropFns) > 0 && s.ConsultDropFns(pkt) {
 		s.Drops++
 		if s.net.onSwitchDrop != nil {
 			s.net.onSwitchDrop(pkt)
@@ -223,6 +274,10 @@ type Network struct {
 	// Conservation counters (plain adds; always on).
 	injected  uint64 // packets entering the fabric via Host.Send
 	delivered uint64 // packets reaching their destination host
+	// deliveredPayload sums the payload bytes of Data/UDPData packets
+	// delivered to hosts: application goodput, excluding headers, ACKs,
+	// probes and in-flight retransmit duplicates of already-lost bytes.
+	deliveredPayload uint64
 
 	// acct, when non-nil, aggregates per-flow per-hop delay decomposition at
 	// every host delivery (EnableDelayAccount).
@@ -423,6 +478,18 @@ func (n *Network) SetCable(leaf, spine, cable int, rateBps int64) {
 	n.Leaves[leaf].up[p].SetRateBps(rateBps)
 	n.Spines[spine].down[leaf*n.Cfg.cables()+cable].SetRateBps(rateBps)
 	n.pathCache = map[int][]int{}
+}
+
+// DeliveredPayloadBytes returns the cumulative application payload bytes
+// delivered to destination hosts (goodput numerator).
+func (n *Network) DeliveredPayloadBytes() uint64 { return n.deliveredPayload }
+
+// Cables returns the number of parallel physical cables per leaf-spine pair.
+func (n *Network) Cables() int { return n.Cfg.cables() }
+
+// CableRate returns the current capacity of one cable of a leaf<->spine link.
+func (n *Network) CableRate(leaf, spine, cable int) int64 {
+	return n.fabric[leaf][spine*n.Cfg.cables()+cable]
 }
 
 // FabricLinkRate returns the current total leaf<->spine capacity across all

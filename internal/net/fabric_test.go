@@ -152,7 +152,7 @@ func TestSpineDropFn(t *testing.T) {
 	eng, nw := testNet(t, 2, 2, 2)
 	got := deliverTo(nw, 2)
 	dropped := 0
-	nw.Spines[0].DropFn = func(p *Packet) bool { dropped++; return true }
+	nw.Spines[0].AddDropFn(func(p *Packet) bool { dropped++; return true })
 	nw.Hosts[0].Send(&Packet{Kind: Data, Src: 0, Dst: 2, Wire: 100, Path: 0})
 	nw.Hosts[0].Send(&Packet{Kind: Data, Src: 0, Dst: 2, Wire: 100, Path: 1})
 	eng.RunAll()

@@ -50,6 +50,13 @@ func (n *Network) AttachFlightRecorder(rec *timeseries.Recorder) {
 		lastTx = tx
 		return float64(d) * 8 / interval // bytes per ns-interval -> Gbit/s
 	})
+	// Goodput: application payload bytes landing at destination hosts. The
+	// recovery analysis dips on this series rather than tx_gbps because the
+	// latter counts headers, ACKs, probes and retransmits on every port, all
+	// of which INCREASE under failure and mask the dip.
+	goodput := deltaProbe(func() uint64 { return n.deliveredPayload })
+	rec.Register("net.goodput_gbps",
+		func() float64 { return goodput() * 8 / interval })
 	rec.Register("net.drops_total", func() float64 {
 		var t uint64
 		for _, p := range allPorts {

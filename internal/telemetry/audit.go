@@ -17,6 +17,10 @@ const (
 	AuditReroute AuditKind = "reroute"
 	// AuditVerdict records a path being marked failed by the monitor.
 	AuditVerdict AuditKind = "verdict"
+	// AuditChaos records a chaos-scenario failure activation or clear, so
+	// the scheme's verdicts can be cross-referenced against the failures
+	// that actually happened.
+	AuditChaos AuditKind = "chaos"
 )
 
 // Audit reasons. Placement reasons say why a fresh path was needed; verdict
@@ -29,6 +33,8 @@ const (
 	ReasonBlackhole  = "blackhole"   // consecutive data timeouts, no delivery
 	ReasonSilentDrop = "silent-drop" // high retx fraction on uncongested path
 	ReasonProbeLoss  = "probe-loss"  // consecutive probe losses
+	ReasonInject     = "inject"      // chaos: a failure came up
+	ReasonClear      = "clear"       // chaos: a failure was reverted
 )
 
 // AuditEntry is one Hermes decision with its triggering reason. Timestamps
@@ -45,6 +51,9 @@ type AuditEntry struct {
 	// the chosen one (-1 for verdicts, which condemn FromPath).
 	FromPath int `json:"from_path"`
 	ToPath   int `json:"to_path"`
+	// Note carries free-text context for entries that are not host
+	// decisions (chaos activations record their injector label here).
+	Note string `json:"note,omitempty"`
 }
 
 // AuditLog accumulates decision entries up to MaxEntries; overflow is

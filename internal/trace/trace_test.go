@@ -67,10 +67,11 @@ func TestTraceLifecycle(t *testing.T) {
 
 func TestTraceRecordsTimeoutsAndRetransmits(t *testing.T) {
 	eng, nw, tr, rec := tracedStack(t)
-	nw.Spines[0].DropFn = func(p *net.Packet) bool {
+	dropEarlyData := func(p *net.Packet) bool {
 		return eng.Now() < 30*sim.Millisecond && p.Kind == net.Data
 	}
-	nw.Spines[1].DropFn = nw.Spines[0].DropFn
+	nw.Spines[0].AddDropFn(dropEarlyData)
+	nw.Spines[1].AddDropFn(dropEarlyData)
 	f := tr.StartFlow(0, 2, 200_000)
 	eng.Run(sim.Second)
 	if !f.Done {

@@ -33,9 +33,9 @@ func TestPropertyFlowsCompleteUnderRandomLoss(t *testing.T) {
 		}
 		// Random drops on both spines until 50 ms, then a clean network.
 		for s := range nw.Spines {
-			nw.Spines[s].DropFn = func(p *net.Packet) bool {
+			nw.Spines[s].AddDropFn(func(p *net.Packet) bool {
 				return eng.Now() < 50*sim.Millisecond && rng.Float64() < loss
-			}
+			})
 		}
 		bal := &fixedPathBalancer{}
 		tr := New(nw, DefaultOptions(), func(h *net.Host) Balancer { return bal })
@@ -135,12 +135,12 @@ func TestPropertyConservation(t *testing.T) {
 	tr := New(nw, DefaultOptions(), func(h *net.Host) Balancer { return bal })
 	// Count wire-level payloads with a spine tap.
 	for s := range nw.Spines {
-		nw.Spines[s].DropFn = func(p *net.Packet) bool {
+		nw.Spines[s].AddDropFn(func(p *net.Packet) bool {
 			if p.Kind == net.Data {
 				deliveredPayload += int64(p.Payload) // counted at the core
 			}
 			return false
-		}
+		})
 	}
 	var flows []*Flow
 	for i := 0; i < 20; i++ {

@@ -158,7 +158,7 @@ func TestFastRetransmitOnLoss(t *testing.T) {
 	// Drop exactly one mid-flow data packet at spine 0.
 	dropped := false
 	n := 0
-	nw.Spines[0].DropFn = func(p *net.Packet) bool {
+	nw.Spines[0].AddDropFn(func(p *net.Packet) bool {
 		if p.Kind != net.Data {
 			return false
 		}
@@ -168,7 +168,7 @@ func TestFastRetransmitOnLoss(t *testing.T) {
 			return true
 		}
 		return false
-	}
+	})
 	f := tr.StartFlow(0, 2, 2_000_000)
 	eng.Run(sim.Second)
 	if !f.Done {
@@ -185,9 +185,9 @@ func TestFastRetransmitOnLoss(t *testing.T) {
 func TestRTORecoversFromBlackout(t *testing.T) {
 	eng, nw, tr, bal := testFabric(t, 2, DefaultOptions())
 	// Drop everything on spine 0 for the first 50 ms.
-	nw.Spines[0].DropFn = func(p *net.Packet) bool {
+	nw.Spines[0].AddDropFn(func(p *net.Packet) bool {
 		return eng.Now() < 50*sim.Millisecond
-	}
+	})
 	f := tr.StartFlow(0, 2, 500_000)
 	eng.Run(2 * sim.Second)
 	if !f.Done {
@@ -203,8 +203,8 @@ func TestRTORecoversFromBlackout(t *testing.T) {
 
 func TestTimedOutFlagSetOnRTO(t *testing.T) {
 	eng, nw, tr, _ := testFabric(t, 2, DefaultOptions())
-	nw.Spines[0].DropFn = func(p *net.Packet) bool { return true }
-	nw.Spines[1].DropFn = func(p *net.Packet) bool { return true }
+	nw.Spines[0].AddDropFn(func(p *net.Packet) bool { return true })
+	nw.Spines[1].AddDropFn(func(p *net.Packet) bool { return true })
 	f := tr.StartFlow(0, 2, 100_000)
 	eng.Run(100 * sim.Millisecond)
 	if !f.TimedOut {
@@ -310,13 +310,13 @@ func TestReorderBufferStillRecoversRealLoss(t *testing.T) {
 	bal := &sprayBalancer{}
 	tr := New(nw, opts, func(h *net.Host) Balancer { return bal })
 	n := 0
-	nw.Spines[0].DropFn = func(p *net.Packet) bool {
+	nw.Spines[0].AddDropFn(func(p *net.Packet) bool {
 		if p.Kind != net.Data {
 			return false
 		}
 		n++
 		return n == 25
-	}
+	})
 	f := tr.StartFlow(0, 2, 2_000_000)
 	eng.Run(sim.Second)
 	if !f.Done {
@@ -380,7 +380,7 @@ func TestGoBackNAfterRTOResendsFromCumAck(t *testing.T) {
 	eng, nw, tr, bal := testFabric(t, 2, DefaultOptions())
 	// Kill spine 0 permanently; flow pinned to it must keep timing out
 	// without progress, with bounded retransmission attempts.
-	nw.Spines[0].DropFn = func(p *net.Packet) bool { return true }
+	nw.Spines[0].AddDropFn(func(p *net.Packet) bool { return true })
 	bal.path = 0
 	f := tr.StartFlow(0, 2, 1_000_000)
 	eng.Run(500 * sim.Millisecond)

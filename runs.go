@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -134,36 +135,60 @@ func RunParallel(cfg Config, seeds []int64) ([]*Result, error) {
 //     in-flight simulations at their next scheduling slice; the first real
 //     simulation error cancels the rest of the sweep.
 func RunParallelOpts(ctx context.Context, cfg Config, seeds []int64, opts ParallelOptions) ([]*Result, error) {
+	if err := checkPoolable(cfg); err != nil {
+		return nil, err
+	}
+	cfgs := make([]Config, len(seeds))
+	labels := make([]string, len(seeds))
+	for i, seed := range seeds {
+		cfgs[i] = cfg
+		cfgs[i].Seed = seed
+		labels[i] = fmt.Sprintf("seed %d", seed)
+	}
+	return runConfigsPool(ctx, cfgs, labels, opts)
+}
+
+// checkPoolable rejects configs that share single-consumer writers across
+// concurrent runs.
+func checkPoolable(cfg Config) error {
 	if cfg.TraceWriter != nil || cfg.PerfettoWriter != nil {
-		return nil, fmt.Errorf("hermes: RunParallel cannot share one trace writer across runs; use Config.Trace and Result.Trace, or trace runs individually")
+		return fmt.Errorf("hermes: RunParallel cannot share one trace writer across runs; use Config.Trace and Result.Trace, or trace runs individually")
 	}
 	if cfg.TimeSeriesWriter != nil || cfg.TimeSeriesCSV != nil {
-		return nil, fmt.Errorf("hermes: RunParallel cannot share one time-series writer across runs; use Config.TimeSeries and Result.TimeSeries, or record runs individually")
+		return fmt.Errorf("hermes: RunParallel cannot share one time-series writer across runs; use Config.TimeSeries and Result.TimeSeries, or record runs individually")
 	}
+	return nil
+}
+
+// runConfigsPool executes one fully-specified Config per slot on a bounded
+// worker pool with the RunParallelOpts contract: results[i] matches cfgs[i]
+// bit-for-bit with a sequential Run, the first real failure (by slot order,
+// tagged with labels[i]) cancels the rest, and cancellation of ctx aborts
+// queued and in-flight runs.
+func runConfigsPool(ctx context.Context, cfgs []Config, labels []string, opts ParallelOptions) ([]*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	results := make([]*Result, len(seeds))
-	if len(seeds) == 0 {
+	results := make([]*Result, len(cfgs))
+	if len(cfgs) == 0 {
 		return results, nil
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	errs := make([]error, len(seeds))
+	errs := make([]error, len(cfgs))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
-	for w := opts.workers(len(seeds)); w > 0; w-- {
+	for w := opts.workers(len(cfgs)); w > 0; w-- {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				c := cfg
-				c.Seed = seeds[i]
+				c := cfgs[i]
 				c.ctx = ctx
 				res, err := Run(c)
 				if err != nil {
-					errs[i] = fmt.Errorf("seed %d: %w", seeds[i], err)
+					errs[i] = fmt.Errorf("%s: %w", labels[i], err)
 					cancel() // fail fast: stop feeding and interrupt peers
 					continue
 				}
@@ -172,7 +197,7 @@ func RunParallelOpts(ctx context.Context, cfg Config, seeds []int64, opts Parall
 		}()
 	}
 feed:
-	for i := range seeds {
+	for i := range cfgs {
 		select {
 		case jobs <- i:
 		case <-ctx.Done():
@@ -212,4 +237,315 @@ func Seeds(base int64, n int) []int64 {
 		out[i] = base + int64(i)
 	}
 	return out
+}
+
+// newSeedStats aggregates one scalar across seeds.
+func newSeedStats(xs []float64) SeedStats {
+	st := SeedStats{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	if len(xs) == 0 {
+		st.Min, st.Max = 0, 0
+		return st
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+		if x < st.Min {
+			st.Min = x
+		}
+		if x > st.Max {
+			st.Max = x
+		}
+	}
+	st.Mean = sum / float64(len(xs))
+	if v := sumSq/float64(len(xs)) - st.Mean*st.Mean; v > 0 {
+		st.StdDev = math.Sqrt(v)
+	}
+	return st
+}
+
+// ChaosMatrixConfig configures RunChaosMatrix: the cross product of Schemes,
+// Scenarios and Seeds, plus one clean (no-failure) baseline per scheme for
+// FCT-inflation scoring. Base supplies everything else (topology, workload,
+// load, flows); its Scheme, Seed, Scenario and Failure are overwritten per
+// cell.
+type ChaosMatrixConfig struct {
+	Base      Config
+	Schemes   []Scheme
+	Scenarios []*Scenario // each needs a distinct non-empty Name
+	Seeds     []int64
+	Options   ParallelOptions
+}
+
+// ChaosCell aggregates one scheme under one scenario across all seeds.
+type ChaosCell struct {
+	Scheme   Scheme `json:"scheme"`
+	Scenario string `json:"scenario"`
+
+	// Runs is the seed count; DetectedRuns/ReroutedRuns count seeds where at
+	// least one activation was detected/rerouted around.
+	Runs          int `json:"runs"`
+	DetectedRuns  int `json:"detected_runs"`
+	ReroutedRuns  int `json:"rerouted_runs"`
+	// MeanDetectMs/MeanRerouteMs average the per-run fastest finite
+	// detection/reroute latency over the runs that have one (-1 = none did).
+	MeanDetectMs  float64 `json:"mean_detect_ms"`
+	MeanRerouteMs float64 `json:"mean_reroute_ms"`
+
+	// WorstDipMs is the per-run worst activation dip duration; DipIntegral
+	// sums the goodput deficit over all activations of a run (Gbps·ms).
+	WorstDipMs  SeedStats `json:"worst_dip_ms"`
+	DipIntegral SeedStats `json:"dip_integral_gbps_ms"`
+
+	// P99Ms is the overall flow-completion p99 across seeds, and
+	// P99InflationPct its mean inflation over the scheme's clean baseline.
+	P99Ms           SeedStats `json:"p99_ms"`
+	P99InflationPct float64   `json:"p99_inflation_pct"`
+	GoodputGbps     SeedStats `json:"goodput_gbps"`
+	// Unfinished totals flows stranded at run end across seeds.
+	Unfinished int `json:"unfinished"`
+}
+
+// SchemeScore is one row of the matrix ranking: Score is the mean over
+// scenarios of three equally-weighted [0,1]-normalized penalties — detection
+// latency (undetected = 1), dip integral, and p99 inflation. Lower is better.
+type SchemeScore struct {
+	Scheme              Scheme  `json:"scheme"`
+	Score               float64 `json:"score"`
+	MeanDetectMs        float64 `json:"mean_detect_ms"`
+	MeanWorstDipMs      float64 `json:"mean_worst_dip_ms"`
+	MeanP99InflationPct float64 `json:"mean_p99_inflation_pct"`
+}
+
+// ChaosMatrix is the scheme x failure resilience report.
+type ChaosMatrix struct {
+	Schemes   []Scheme `json:"schemes"`
+	Scenarios []string `json:"scenarios"`
+	Seeds     []int64  `json:"seeds"`
+
+	// BaselineP99Ms is each scheme's clean-run p99 (mean over seeds), the
+	// denominator of every inflation figure.
+	BaselineP99Ms map[Scheme]float64 `json:"baseline_p99_ms"`
+	// Cells is scenario-major: all schemes of Scenarios[0] first.
+	Cells   []ChaosCell   `json:"cells"`
+	Ranking []SchemeScore `json:"ranking"`
+}
+
+// Cell returns the aggregate for (scheme, scenario), or nil.
+func (m *ChaosMatrix) Cell(scheme Scheme, scenario string) *ChaosCell {
+	for i := range m.Cells {
+		if m.Cells[i].Scheme == scheme && m.Cells[i].Scenario == scenario {
+			return &m.Cells[i]
+		}
+	}
+	return nil
+}
+
+// RunChaosMatrix sweeps schemes x scenarios x seeds — plus one clean baseline
+// per scheme — on a single worker pool, and aggregates each cell's recovery
+// metrics (detection and reroute latency, goodput-dip depth and cost) and
+// FCT inflation over the clean baseline. Deterministic: same config, same
+// matrix, regardless of worker count.
+func RunChaosMatrix(ctx context.Context, mc ChaosMatrixConfig) (*ChaosMatrix, error) {
+	if len(mc.Schemes) == 0 || len(mc.Scenarios) == 0 || len(mc.Seeds) == 0 {
+		return nil, fmt.Errorf("hermes: chaos matrix needs schemes, scenarios and seeds (have %d/%d/%d)",
+			len(mc.Schemes), len(mc.Scenarios), len(mc.Seeds))
+	}
+	if err := checkPoolable(mc.Base); err != nil {
+		return nil, err
+	}
+	names := make(map[string]bool, len(mc.Scenarios))
+	for _, sc := range mc.Scenarios {
+		if sc == nil || sc.Name == "" {
+			return nil, fmt.Errorf("hermes: chaos matrix scenarios need non-empty names")
+		}
+		if names[sc.Name] {
+			return nil, fmt.Errorf("hermes: duplicate scenario name %q in chaos matrix", sc.Name)
+		}
+		names[sc.Name] = true
+	}
+
+	// Flatten: per scheme, one clean baseline run then every scenario, per
+	// seed. Slot order is the deterministic identity of each run.
+	type slot struct {
+		scheme   int
+		scenario int // -1 = clean baseline
+		seed     int
+	}
+	var slots []slot
+	var cfgs []Config
+	var labels []string
+	for si, scheme := range mc.Schemes {
+		for ci := -1; ci < len(mc.Scenarios); ci++ {
+			for ki, seed := range mc.Seeds {
+				c := mc.Base
+				c.Scheme = scheme
+				c.Seed = seed
+				c.Failure = FailureSpec{}
+				if ci < 0 {
+					c.Scenario = nil
+					c.TimeSeries = false
+					labels = append(labels, fmt.Sprintf("%s/clean/seed %d", scheme, seed))
+				} else {
+					c.Scenario = mc.Scenarios[ci]
+					labels = append(labels, fmt.Sprintf("%s/%s/seed %d", scheme, mc.Scenarios[ci].Name, seed))
+				}
+				slots = append(slots, slot{scheme: si, scenario: ci, seed: ki})
+				cfgs = append(cfgs, c)
+			}
+		}
+	}
+	results, err := runConfigsPool(ctx, cfgs, labels, mc.Options)
+	if err != nil {
+		return nil, err
+	}
+
+	m := &ChaosMatrix{
+		Schemes: mc.Schemes, Seeds: mc.Seeds,
+		BaselineP99Ms: make(map[Scheme]float64, len(mc.Schemes)),
+	}
+	for _, sc := range mc.Scenarios {
+		m.Scenarios = append(m.Scenarios, sc.Name)
+	}
+
+	// Group results back into cells.
+	byCell := make(map[[2]int][]*Result)
+	for i, res := range results {
+		byCell[[2]int{slots[i].scheme, slots[i].scenario}] = append(
+			byCell[[2]int{slots[i].scheme, slots[i].scenario}], res)
+	}
+	for si, scheme := range mc.Schemes {
+		var p99 []float64
+		for _, res := range byCell[[2]int{si, -1}] {
+			p99 = append(p99, res.FCT.Overall.P99Ms())
+		}
+		m.BaselineP99Ms[scheme] = newSeedStats(p99).Mean
+	}
+	for ci := range mc.Scenarios {
+		for si, scheme := range mc.Schemes {
+			cell := ChaosCell{Scheme: scheme, Scenario: mc.Scenarios[ci].Name}
+			var detect, reroute, worstDip, dipInt, p99, goodput []float64
+			for _, res := range byCell[[2]int{si, ci}] {
+				cell.Runs++
+				cell.Unfinished += res.FCT.Unfinished
+				p99 = append(p99, res.FCT.Overall.P99Ms())
+				goodput = append(goodput, res.GoodputGbps)
+				runDetect, runReroute := math.Inf(1), math.Inf(1)
+				runWorst, runInt := 0.0, 0.0
+				if res.Recovery != nil {
+					for _, e := range res.Recovery.Events {
+						if e.TimeToDetectNs >= 0 && float64(e.TimeToDetectNs) < runDetect {
+							runDetect = float64(e.TimeToDetectNs)
+						}
+						if e.TimeToRerouteNs >= 0 && float64(e.TimeToRerouteNs) < runReroute {
+							runReroute = float64(e.TimeToRerouteNs)
+						}
+						if d := float64(e.DipDurationNs); d > runWorst {
+							runWorst = d
+						}
+						runInt += e.DipIntegralGbpsMs
+					}
+				}
+				if !math.IsInf(runDetect, 1) {
+					cell.DetectedRuns++
+					detect = append(detect, runDetect/1e6)
+				}
+				if !math.IsInf(runReroute, 1) {
+					cell.ReroutedRuns++
+					reroute = append(reroute, runReroute/1e6)
+				}
+				worstDip = append(worstDip, runWorst/1e6)
+				dipInt = append(dipInt, runInt)
+			}
+			cell.MeanDetectMs, cell.MeanRerouteMs = -1, -1
+			if len(detect) > 0 {
+				cell.MeanDetectMs = newSeedStats(detect).Mean
+			}
+			if len(reroute) > 0 {
+				cell.MeanRerouteMs = newSeedStats(reroute).Mean
+			}
+			cell.WorstDipMs = newSeedStats(worstDip)
+			cell.DipIntegral = newSeedStats(dipInt)
+			cell.P99Ms = newSeedStats(p99)
+			cell.GoodputGbps = newSeedStats(goodput)
+			if base := m.BaselineP99Ms[scheme]; base > 0 {
+				cell.P99InflationPct = (cell.P99Ms.Mean/base - 1) * 100
+			}
+			m.Cells = append(m.Cells, cell)
+		}
+	}
+	m.rank()
+	return m, nil
+}
+
+// rank fills Ranking: per scenario each scheme accrues three equally-weighted
+// [0,1] penalties — detection latency (no detection = 1; detected =
+// latency relative to the scenario's worst dip duration, i.e. the damage
+// blind schemes took), dip integral and p99 inflation each normalized by
+// the scenario's worst — then scores average over scenarios.
+func (m *ChaosMatrix) rank() {
+	type acc struct {
+		score, detect, dip, infl float64
+		detectN                  int
+	}
+	accs := make([]acc, len(m.Schemes))
+	idx := make(map[Scheme]int, len(m.Schemes))
+	for i, s := range m.Schemes {
+		idx[s] = i
+	}
+	for _, scn := range m.Scenarios {
+		var maxDip, maxInt, maxInfl float64
+		for _, s := range m.Schemes {
+			c := m.Cell(s, scn)
+			if c.WorstDipMs.Mean > maxDip {
+				maxDip = c.WorstDipMs.Mean
+			}
+			if c.DipIntegral.Mean > maxInt {
+				maxInt = c.DipIntegral.Mean
+			}
+			if p := math.Max(c.P99InflationPct, 0); p > maxInfl {
+				maxInfl = p
+			}
+		}
+		for _, s := range m.Schemes {
+			c, a := m.Cell(s, scn), &accs[idx[s]]
+			detectPen := 1.0
+			if c.MeanDetectMs >= 0 {
+				detectPen = 0
+				if maxDip > 0 {
+					detectPen = math.Min(1, c.MeanDetectMs/maxDip)
+				}
+			}
+			intPen, inflPen := 0.0, 0.0
+			if maxInt > 0 {
+				intPen = c.DipIntegral.Mean / maxInt
+			}
+			if maxInfl > 0 {
+				inflPen = math.Max(c.P99InflationPct, 0) / maxInfl
+			}
+			a.score += (detectPen + intPen + inflPen) / 3
+			if c.MeanDetectMs >= 0 {
+				a.detect += c.MeanDetectMs
+				a.detectN++
+			}
+			a.dip += c.WorstDipMs.Mean
+			a.infl += c.P99InflationPct
+		}
+	}
+	n := float64(len(m.Scenarios))
+	for i, s := range m.Schemes {
+		detect := -1.0
+		if accs[i].detectN > 0 {
+			detect = accs[i].detect / float64(accs[i].detectN)
+		}
+		m.Ranking = append(m.Ranking, SchemeScore{
+			Scheme: s, Score: accs[i].score / n,
+			MeanDetectMs:        detect,
+			MeanWorstDipMs:      accs[i].dip / n,
+			MeanP99InflationPct: accs[i].infl / n,
+		})
+	}
+	sort.SliceStable(m.Ranking, func(i, j int) bool {
+		return m.Ranking[i].Score < m.Ranking[j].Score
+	})
 }

@@ -151,7 +151,7 @@ func buildHermes(nw *net.Network, rng *sim.RNG, cfg Config, rd *telemetry.RunDat
 		attachHermesGauges(reg, monitors, instances, &probers)
 	}
 	if flight != nil {
-		attachHermesFlight(flight, monitors)
+		attachHermesFlight(flight, monitors, instances)
 	}
 	w.afterTransport = func(nw *net.Network, rng *sim.RNG) {
 		if params.ProbeInterval <= 0 {
@@ -190,11 +190,31 @@ func buildHermes(nw *net.Network, rng *sim.RNG, cfg Config, rd *telemetry.RunDat
 
 // attachHermesFlight wires the Hermes control plane into the flight
 // recorder: a per-leaf Algorithm 1 path census (good/gray/congested/failed
-// counts sampled every interval) and the path-state transition log. Monitor
-// intake sites report transitions as they happen; the per-tick scan catches
-// the one change that happens between events, quarantine expiry, so a
-// failed->gray flip is recorded within one sampling interval.
-func attachHermesFlight(flight *timeseries.Recorder, monitors []*core.Monitor) {
+// counts sampled every interval), the path-state transition log, and the
+// cumulative reroute counters the chaos recovery analysis needs (first
+// post-onset increase of timeout+failure reroutes = time-to-reroute). All
+// sums are over integer counters, so map iteration order cannot perturb
+// the sampled values. Monitor intake sites report transitions as they
+// happen; the per-tick scan catches the one change that happens between
+// events, quarantine expiry, so a failed->gray flip is recorded within one
+// sampling interval.
+func attachHermesFlight(flight *timeseries.Recorder, monitors []*core.Monitor,
+	instances map[int]*core.Hermes) {
+	sumOver := func(pick func(*core.Hermes) uint64) func() float64 {
+		return func() float64 {
+			var n uint64
+			for _, inst := range instances {
+				n += pick(inst)
+			}
+			return float64(n)
+		}
+	}
+	flight.Register("hermes.reroutes_total",
+		sumOver(func(i *core.Hermes) uint64 { return i.Reroutes }))
+	flight.Register("hermes.timeout_reroutes_total",
+		sumOver(func(i *core.Hermes) uint64 { return i.TimeoutReroutes }))
+	flight.Register("hermes.failure_reroutes_total",
+		sumOver(func(i *core.Hermes) uint64 { return i.FailureReroutes }))
 	for l, m := range monitors {
 		l, m := l, m
 		leafLabel := fmt.Sprintf("%d", l)

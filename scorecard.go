@@ -1,0 +1,80 @@
+package hermes
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/hermes-repro/hermes/internal/textplot"
+)
+
+// RenderText writes the human-readable recovery scorecard: one table per
+// scenario, a dip-cost bar chart over the whole matrix, and the composite
+// ranking. Width scales the charts (0 = default).
+func (m *ChaosMatrix) RenderText(w io.Writer, width int) error {
+	ms := func(v float64) string {
+		if v < 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.2f", v)
+	}
+	if _, err := fmt.Fprintf(w,
+		"chaos resilience matrix — recovery scorecard\nschemes=%v scenarios=%v seeds=%v\n\n",
+		m.Schemes, m.Scenarios, m.Seeds); err != nil {
+		return err
+	}
+
+	for _, scn := range m.Scenarios {
+		if _, err := fmt.Fprintf(w, "scenario %s\n", scn); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "  %-10s %12s %12s %14s %18s %16s %6s\n",
+			"scheme", "detect(ms)", "reroute(ms)", "worst-dip(ms)", "dip-cost(Gbps*ms)", "p99(ms)", "unfin"); err != nil {
+			return err
+		}
+		for _, s := range m.Schemes {
+			c := m.Cell(s, scn)
+			if c == nil {
+				continue
+			}
+			p99 := fmt.Sprintf("%.2f (%+.1f%%)", c.P99Ms.Mean, c.P99InflationPct)
+			if _, err := fmt.Fprintf(w, "  %-10s %12s %12s %14.2f %18.1f %16s %6d\n",
+				string(s), ms(c.MeanDetectMs), ms(c.MeanRerouteMs),
+				c.WorstDipMs.Mean, c.DipIntegral.Mean, p99, c.Unfinished); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+
+	series := make([]textplot.Series, 0, len(m.Schemes))
+	for _, s := range m.Schemes {
+		row := textplot.Series{Label: string(s)}
+		for _, scn := range m.Scenarios {
+			row.Values = append(row.Values, m.Cell(s, scn).DipIntegral.Mean)
+		}
+		series = append(series, row)
+	}
+	if err := textplot.Bars(w, "goodput-dip cost by scenario (Gbps*ms; lower = more resilient)",
+		m.Scenarios, series, width); err != nil {
+		return err
+	}
+
+	if _, err := fmt.Fprintln(w,
+		"ranking (detection latency + dip cost + p99 inflation, normalized; lower = better)"); err != nil {
+		return err
+	}
+	for i, r := range m.Ranking {
+		detect := "-"
+		if r.MeanDetectMs >= 0 {
+			detect = fmt.Sprintf("%.2fms", r.MeanDetectMs)
+		}
+		if _, err := fmt.Fprintf(w, " %d. %-10s score=%.3f detect=%s worst-dip=%.2fms p99-inflation=%+.1f%%\n",
+			i+1, string(r.Scheme), r.Score, detect, r.MeanWorstDipMs,
+			r.MeanP99InflationPct); err != nil {
+			return err
+		}
+	}
+	return nil
+}
