@@ -129,10 +129,38 @@ func main() {
 		tsDir   = flag.String("timeseries", "", "write one flight-recorder time-series JSONL per run into this directory (view with hermes-trace -timeline)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		statusAddr  = flag.String("status", "", `serve the live status plane on this address while experiments run (e.g. ":8080"; see /api/progress, /metrics)`)
+		progress    = flag.Bool("progress", false, "print a progress line (runs done, ETA) to stderr every few seconds")
+		progressSec = flag.Int("progress-interval", 5, "seconds between -progress lines")
+		version     = flag.Bool("version", false, "print build version and VCS revision, then exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(hermes.VersionString())
+		return
+	}
 	plotTables = *plot
 	hermes.SetDefaultWorkers(*workers)
+	if *statusAddr != "" || *progress {
+		// Experiments build their Configs internally, so observability rides
+		// the process-wide default tracker rather than Config.Status.
+		st := hermes.NewStatus()
+		statusTracker = st
+		hermes.SetDefaultStatus(st)
+		if *statusAddr != "" {
+			srv, err := hermes.ServeStatus(*statusAddr, st)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "status plane on %s\n", srv.URL())
+		}
+		if *progress {
+			stop := st.StartLogging(os.Stderr, time.Duration(*progressSec)*time.Second)
+			defer stop()
+		}
+	}
 	if *workers > 0 {
 		sweepWorkers = *workers
 	}
@@ -210,8 +238,12 @@ func main() {
 	log.Fatalf("unknown experiment %q (use -list)", *exp)
 }
 
+// statusTracker is the -status/-progress tracker (nil when neither is set).
+var statusTracker *hermes.Status
+
 func runOne(e experiment, o options) {
 	fmt.Printf("\n================ %s: %s ================\n", e.name, e.what)
+	statusTracker.Note(e.name + ": " + e.what)
 	currentExp, tableSeq = e.name, 0
 	start := time.Now()
 	e.runFn(o)

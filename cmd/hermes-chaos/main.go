@@ -21,6 +21,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	hermes "github.com/hermes-repro/hermes"
 )
@@ -41,8 +42,17 @@ func main() {
 		width         = flag.Int("width", 40, "scorecard chart width")
 		jsonOut       = flag.Bool("json", false, "emit the matrix as JSON instead of the text scorecard")
 		outFile       = flag.String("out", "", "write the output to this file instead of stdout")
+		statusAddr    = flag.String("status", "", `serve the live status plane on this address while the matrix runs (e.g. ":8080"; see /api/progress, /metrics, /api/series/stream)`)
+		progress      = flag.Bool("progress", false, "print a progress line (runs done, ETA) to stderr every few seconds")
+		progressSec   = flag.Int("progress-interval", 5, "seconds between -progress lines")
+		version       = flag.Bool("version", false, "print build version and VCS revision, then exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(hermes.VersionString())
+		return
+	}
 
 	if *listFlag {
 		fmt.Println("builtin scenarios:", strings.Join(hermes.ScenarioNames(), " "))
@@ -89,7 +99,7 @@ func main() {
 		scenarios = append(scenarios, sc)
 	}
 
-	m, err := hermes.RunChaosMatrix(context.Background(), hermes.ChaosMatrixConfig{
+	mc := hermes.ChaosMatrixConfig{
 		Base: hermes.Config{
 			Topology: topo, Workload: *workload, Load: *load,
 			Flows: *flows, DrainTimeoutNs: 300e6,
@@ -98,9 +108,35 @@ func main() {
 		Scenarios: scenarios,
 		Seeds:     hermes.Seeds(*seedBase, *seedCount),
 		Options:   hermes.ParallelOptions{Workers: *workers},
-	})
+	}
+
+	var st *hermes.Status
+	if *statusAddr != "" || *progress {
+		st = hermes.NewStatus()
+		mc.Base.Status = st
+	}
+	if *statusAddr != "" {
+		srv, err := hermes.ServeStatus(*statusAddr, st)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "status plane on %s\n", srv.URL())
+	}
+	if *progress {
+		stop := st.StartLogging(os.Stderr, time.Duration(*progressSec)*time.Second)
+		defer stop()
+	}
+
+	m, err := hermes.RunChaosMatrix(context.Background(), mc)
 	if err != nil {
 		log.Fatal(err)
+	}
+	// Stamp provenance onto the emitted artifact (RunChaosMatrix itself
+	// leaves Manifest nil so in-process matrices stay config-pure).
+	if mj, merr := json.Marshal(mc); merr == nil {
+		manifest := hermes.BuildManifest().WithConfig(mj, mc.Seeds)
+		m.Manifest = &manifest
 	}
 
 	var w io.Writer = os.Stdout

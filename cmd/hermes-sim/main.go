@@ -61,8 +61,15 @@ func main() {
 		subflows     = flag.Int("mptcp-subflows", 4, "subflows per logical flow (mptcp scheme)")
 		checks       = flag.Bool("checks", false, "arm the simulation invariant harness (engine + packet-conservation checks)")
 		configFile   = flag.String("config", "", "load the full experiment Config from a JSON file (overrides other flags)")
+		statusAddr   = flag.String("status", "", `serve the live status plane on this address while the run executes (e.g. ":8080"; see /api/progress, /metrics)`)
+		version      = flag.Bool("version", false, "print build version and VCS revision, then exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(hermes.VersionString())
+		return
+	}
 
 	if *scenarioName == "list" {
 		fmt.Println("builtin scenarios:", strings.Join(hermes.ScenarioNames(), " "))
@@ -220,6 +227,18 @@ func main() {
 		cfg = fileCfg
 	}
 
+	if *statusAddr != "" {
+		st := hermes.NewStatus()
+		st.Plan(1)
+		srv, err := hermes.ServeStatus(*statusAddr, st)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "status plane on %s\n", srv.URL())
+		cfg.Status = st
+	}
+
 	res, err := hermes.Run(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -253,6 +272,12 @@ func main() {
 		}
 	}
 	if *reportFile != "" {
+		// Written artifacts carry provenance; the in-process report stays a
+		// pure function of (config, seed).
+		if mj, merr := json.Marshal(cfg); merr == nil {
+			m := hermes.BuildManifest().WithConfig(mj, []int64{cfg.Seed})
+			report.Manifest = &m
+		}
 		if err := writeReport(report, *reportFile); err != nil {
 			log.Fatal(err)
 		}

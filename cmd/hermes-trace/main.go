@@ -37,8 +37,13 @@ func main() {
 		compareFile = flag.String("compare", "", "second trace: print a side-by-side attribution comparison instead of a full analysis")
 		tsFile      = flag.String("timeline", "", "flight-recorder time series (.jsonl or .csv, from hermes-sim -timeseries): render sparklines, queue heatmap and path-state timelines")
 		width       = flag.Int("width", 64, "chart width in cells")
+		version     = flag.Bool("version", false, "print build version and VCS revision, then exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(hermes.VersionString())
+		return
+	}
 	if *tsFile != "" {
 		if err := timeline(os.Stdout, loadTimeseries(*tsFile), *width); err != nil {
 			log.Fatal(err)

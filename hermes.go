@@ -29,6 +29,7 @@ import (
 	"github.com/hermes-repro/hermes/internal/metrics"
 	"github.com/hermes-repro/hermes/internal/net"
 	"github.com/hermes-repro/hermes/internal/sim"
+	"github.com/hermes-repro/hermes/internal/statusd"
 	"github.com/hermes-repro/hermes/internal/telemetry"
 	"github.com/hermes-repro/hermes/internal/timeseries"
 	"github.com/hermes-repro/hermes/internal/trace"
@@ -296,6 +297,19 @@ type Config struct {
 	// CSV after the run (implies TimeSeries).
 	TimeSeriesCSV io.Writer `json:"-"`
 
+	// Status, when non-nil, attaches this run to a live status tracker:
+	// progress, live metric snapshots and the flight recorder become
+	// visible on the tracker's HTTP status plane (ServeStatus) while the
+	// run executes. Publishing happens only at scheduling-slice boundaries
+	// and run end — never on the per-packet hot path — and is purely
+	// observational: results are byte-identical with or without it. Nil
+	// falls back to the SetDefaultStatus process default, else disabled.
+	Status *Status `json:"-"`
+
+	// statusLabel names this run on the status plane. Set by the sweep
+	// helpers (scheme/scenario/seed); Run derives one when empty.
+	statusLabel string
+
 	// ctx, when set by RunParallelOpts, lets a sweep interrupt this run at
 	// its next scheduling slice. Unexported: single runs are not
 	// interruptible from the public API.
@@ -388,7 +402,7 @@ func (t Topology) toNet() net.Config {
 }
 
 // Run executes one experiment and returns its measurements.
-func Run(cfg Config) (*Result, error) {
+func Run(cfg Config) (res *Result, err error) {
 	if cfg.Flows <= 0 {
 		return nil, fmt.Errorf("hermes: Flows must be positive")
 	}
@@ -413,8 +427,26 @@ func Run(cfg Config) (*Result, error) {
 		}
 		spec = FailureSpec{}
 	}
+
+	// Status publishing is observational only: the handle receives progress
+	// at slice boundaries and the final summary, and a failed run (any error
+	// from here on) is retired as such.
+	st := statusFor(&cfg)
+	runLabel := cfg.statusLabel
+	if runLabel == "" {
+		runLabel = fmt.Sprintf("%s/seed %d", cfg.Scheme, cfg.Seed)
+	}
+	var sh *statusd.RunHandle
+	if st != nil {
+		sh = st.StartRun(runLabel, cfg.Flows)
+		defer func() {
+			if err != nil {
+				sh.Fail(err)
+			}
+		}()
+	}
+
 	var dist *workload.CDF
-	var err error
 	if cfg.WorkloadFile != "" {
 		dist, err = workload.LoadCDFFile(cfg.WorkloadFile)
 	} else {
@@ -471,6 +503,8 @@ func Run(cfg Config) (*Result, error) {
 		flight = timeseries.NewRecorder(eng,
 			sim.Time(cfg.TimeSeriesIntervalNs), tsCap, 0)
 		nw.AttachFlightRecorder(flight)
+		// Expose the live recording on the status plane (/api/series).
+		st.AttachFlight(flight, runLabel)
 	}
 
 	opts := transport.DefaultOptions()
@@ -571,8 +605,10 @@ func Run(cfg Config) (*Result, error) {
 		return baseRTT + sim.Time(size*8*sim.Second/hostRate)
 	}
 	var deliveredBytes int64
+	var flowsDone int64
 	tr.OnFlowDone = func(f *transport.Flow) {
 		deliveredBytes += f.Size
+		flowsDone++
 		rec.Record(f.Size, f.FCT())
 	}
 
@@ -621,6 +657,12 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 		eng.Run(eng.Now() + slice)
+		if sh != nil {
+			sh.Update(int64(eng.Now()), int64(gen.Started()), flowsDone, eng.Fired())
+			if rd != nil {
+				sh.SetMetrics(rd.Registry.Values())
+			}
+		}
 		if gen.Started() >= cfg.Flows {
 			if lastArrival == 0 {
 				lastArrival = eng.Now()
@@ -653,7 +695,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	res := &Result{
+	res = &Result{
 		Scheme:      cfg.Scheme,
 		Workload:    cfg.Workload,
 		Load:        cfg.Load,
@@ -777,6 +819,27 @@ func Run(cfg Config) (*Result, error) {
 		if tracer.Dropped > 0 {
 			res.TraceCounts["dropped"] = tracer.Dropped
 		}
+	}
+	if sh != nil {
+		sum := statusd.RunSummary{
+			Scheme: string(cfg.Scheme), Workload: cfg.Workload, Load: cfg.Load,
+			Seed: cfg.Seed, SimDurationNs: int64(eng.Now()), Events: eng.Fired(),
+			Flows: cfg.Flows, Unfinished: res.FCT.Unfinished,
+			GoodputGbps: res.GoodputGbps,
+			MeanMs:      res.FCT.Overall.MeanMs(), P99Ms: res.FCT.Overall.P99Ms(),
+		}
+		if scenario != nil {
+			sum.Scenario = scenario.Name
+		} else if cfg.Failure.Kind != FailureNone {
+			sum.Scenario = string(cfg.Failure.Kind)
+		}
+		var finalVals map[string]float64
+		var finalHists map[string]telemetry.HistogramStats
+		if rd != nil {
+			finalVals = rd.Registry.Values()
+			finalHists = rd.Registry.Histograms()
+		}
+		sh.Finish(sum, finalVals, finalHists)
 	}
 	return res, nil
 }

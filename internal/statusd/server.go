@@ -1,0 +1,228 @@
+package statusd
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/hermes-repro/hermes/internal/timeseries"
+)
+
+// DefaultPollInterval is how often the SSE stream checks the live recording
+// for news when the handler is built with interval <= 0.
+const DefaultPollInterval = 250 * time.Millisecond
+
+// SeriesPayload wraps a flight-recorder delta with the identity of the
+// recording it came from (/api/series and every SSE "delta" event).
+type SeriesPayload struct {
+	// Label names the run whose recording is attached; Generation bumps
+	// every time a new run's recorder replaces it, so stream consumers can
+	// tell "same recording, more rows" from "new recording, fresh cursor".
+	Label      string `json:"label"`
+	Generation uint64 `json:"generation"`
+	timeseries.Delta
+}
+
+// Handler builds the status-plane HTTP mux for a tracker. pollInterval
+// paces the SSE stream (<= 0 picks DefaultPollInterval). Exposed separately
+// from Server so tests can drive it through httptest.
+func Handler(t *Tracker, pollInterval time.Duration) http.Handler {
+	if pollInterval <= 0 {
+		pollInterval = DefaultPollInterval
+	}
+	mux := http.NewServeMux()
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "hermes status plane — %s\n\n", t.Manifest().String())
+		fmt.Fprintln(w, "GET /api/progress       runs done/total, per-run flow progress, ETA")
+		fmt.Fprintln(w, "GET /api/report         manifest + progress + completed-run summaries")
+		fmt.Fprintln(w, "GET /api/manifest       build and VCS provenance")
+		fmt.Fprintln(w, "GET /api/series         flight-recorder snapshot (?seq=N&transition=M for deltas)")
+		fmt.Fprintln(w, "GET /api/series/stream  the same as live SSE deltas (resumes via Last-Event-ID)")
+		fmt.Fprintln(w, "GET /metrics            Prometheus text exposition")
+	})
+	mux.HandleFunc("/api/progress", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, t.Progress())
+	})
+	mux.HandleFunc("/api/manifest", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, t.Manifest())
+	})
+	mux.HandleFunc("/api/report", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, t.Report())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		t.WriteMetrics(w) //nolint:errcheck // client gone; nothing to do
+	})
+	mux.HandleFunc("/api/series", func(w http.ResponseWriter, r *http.Request) {
+		rec, label, gen := t.Flight()
+		if rec == nil {
+			http.Error(w, `{"error":"no flight recorder attached (runs record when TimeSeries or a Scenario is enabled)"}`,
+				http.StatusNotFound)
+			return
+		}
+		cur := cursorFromQuery(r)
+		writeJSON(w, SeriesPayload{Label: label, Generation: gen, Delta: rec.SnapshotSince(cur)})
+	})
+	mux.HandleFunc("/api/series/stream", func(w http.ResponseWriter, r *http.Request) {
+		streamSeries(w, r, t, pollInterval)
+	})
+	return mux
+}
+
+// cursorFromQuery reads ?seq=N&transition=M (both default 0).
+func cursorFromQuery(r *http.Request) timeseries.Cursor {
+	var c timeseries.Cursor
+	if v := r.URL.Query().Get("seq"); v != "" {
+		c.Seq, _ = strconv.ParseUint(v, 10, 64)
+	}
+	if v := r.URL.Query().Get("transition"); v != "" {
+		c.Transition, _ = strconv.Atoi(v)
+	}
+	return c
+}
+
+// parseEventID decodes the "seq:transition:generation" SSE event id.
+func parseEventID(id string) (timeseries.Cursor, uint64, bool) {
+	parts := strings.Split(id, ":")
+	if len(parts) != 3 {
+		return timeseries.Cursor{}, 0, false
+	}
+	seq, err1 := strconv.ParseUint(parts[0], 10, 64)
+	tr, err2 := strconv.Atoi(parts[1])
+	gen, err3 := strconv.ParseUint(parts[2], 10, 64)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return timeseries.Cursor{}, 0, false
+	}
+	return timeseries.Cursor{Seq: seq, Transition: tr}, gen, true
+}
+
+// streamSeries serves the flight recording as Server-Sent Events: one
+// "delta" event whenever the recording has sealed new rows or transitions,
+// keepalive comments otherwise. Event ids are "seq:transition:generation";
+// a reconnecting client resumes from Last-Event-ID (or ?seq=&transition=),
+// and a cursor that fell off the ring yields one delta with reset=true
+// carrying the whole retained window.
+func streamSeries(w http.ResponseWriter, r *http.Request, t *Tracker, pollInterval time.Duration) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	cur := cursorFromQuery(r)
+	var haveGen uint64
+	if id := r.Header.Get("Last-Event-ID"); id != "" {
+		if c, gen, ok := parseEventID(id); ok {
+			cur, haveGen = c, gen
+		}
+	}
+
+	ctx := r.Context()
+	ticker := time.NewTicker(pollInterval)
+	defer ticker.Stop()
+	idle := 0
+	for {
+		rec, label, gen := t.Flight()
+		if rec != nil {
+			if haveGen != 0 && gen != haveGen {
+				// A new run's recording replaced the one the client was
+				// following; restart its cursor from the beginning.
+				cur = timeseries.Cursor{}
+			}
+			d := rec.SnapshotSince(cur)
+			if d.Rows() > 0 || len(d.Transitions) > 0 || d.Reset || haveGen != gen {
+				payload, err := json.Marshal(SeriesPayload{Label: label, Generation: gen, Delta: d})
+				if err == nil {
+					fmt.Fprintf(w, "id: %d:%d:%d\nevent: delta\ndata: %s\n\n",
+						d.Cursor.Seq, d.Cursor.Transition, gen, payload)
+					flusher.Flush()
+				}
+				idle = 0
+			}
+			cur, haveGen = d.Cursor, gen
+		}
+		idle++
+		if idle >= 4 {
+			// Keep proxies and clients convinced the stream is alive.
+			fmt.Fprint(w, ": keepalive\n\n")
+			flusher.Flush()
+			idle = 0
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// Server is the embeddable HTTP status server: NewServer binds the address
+// and serves a Tracker until Close.
+type Server struct {
+	T *Tracker
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewServer listens on addr (e.g. ":8080", "127.0.0.1:0") and serves the
+// tracker's status plane in a background goroutine.
+func NewServer(addr string, t *Tracker) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("statusd: listen %s: %w", addr, err)
+	}
+	s := &Server{T: t, ln: ln, srv: &http.Server{Handler: Handler(t, 0)}}
+	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s == nil || s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// URL returns the server's base URL.
+func (s *Server) URL() string {
+	addr := s.Addr()
+	if addr == "" {
+		return ""
+	}
+	if host, port, err := net.SplitHostPort(addr); err == nil {
+		if ip := net.ParseIP(host); ip != nil && ip.IsUnspecified() {
+			addr = net.JoinHostPort("127.0.0.1", port)
+		}
+	}
+	return "http://" + addr
+}
+
+// Close stops the listener and interrupts in-flight streams.
+func (s *Server) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

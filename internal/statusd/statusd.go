@@ -1,0 +1,448 @@
+// Package statusd is the live run observatory: a Tracker that aggregates
+// progress, metrics and flight-recorder access across the runs of one
+// process, and an HTTP Server that exposes it while simulations execute —
+// /api/progress (completion and ETA), /metrics (Prometheus text
+// exposition), /api/series and /api/series/stream (flight-recorder
+// snapshots and SSE deltas), /api/manifest (build provenance) and
+// /api/report (per-run summaries so far).
+//
+// The tracker is purely observational. Simulations publish to it at
+// scheduling-slice boundaries and run end — never from the per-packet hot
+// path — and readers only copy state under the tracker lock, so attaching a
+// tracker (or serving it over HTTP) cannot perturb results: reports are
+// byte-identical with the status plane on or off. A nil *Tracker is the
+// disabled state; every method is a no-op.
+package statusd
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/hermes-repro/hermes/internal/telemetry"
+	"github.com/hermes-repro/hermes/internal/timeseries"
+)
+
+// RunSummary is the completed-run record kept for /api/report.
+type RunSummary struct {
+	Label         string  `json:"label"`
+	Scheme        string  `json:"scheme,omitempty"`
+	Workload      string  `json:"workload,omitempty"`
+	Scenario      string  `json:"scenario,omitempty"`
+	Load          float64 `json:"load,omitempty"`
+	Seed          int64   `json:"seed"`
+	SimDurationNs int64   `json:"sim_duration_ns"`
+	Events        uint64  `json:"events"`
+	Flows         int     `json:"flows"`
+	Unfinished    int     `json:"unfinished,omitempty"`
+	GoodputGbps   float64 `json:"goodput_gbps"`
+	MeanMs        float64 `json:"fct_mean_ms"`
+	P99Ms         float64 `json:"fct_p99_ms"`
+	WallMs        int64   `json:"wall_ms"`
+	Err           string  `json:"error,omitempty"`
+}
+
+// ActiveRun is one in-flight simulation as /api/progress reports it.
+type ActiveRun struct {
+	Label        string  `json:"label"`
+	SimNs        int64   `json:"sim_ns"`
+	FlowsStarted int64   `json:"flows_started"`
+	FlowsDone    int64   `json:"flows_done"`
+	FlowsTotal   int64   `json:"flows_total"`
+	Frac         float64 `json:"frac"`
+	WallMs       int64   `json:"wall_ms"`
+}
+
+// Progress is the /api/progress payload.
+type Progress struct {
+	StartUnix int64  `json:"start_unix"`
+	WallMs    int64  `json:"wall_ms"`
+	Note      string `json:"note,omitempty"`
+
+	RunsPlanned int `json:"runs_planned"`
+	RunsDone    int `json:"runs_done"`
+	RunsFailed  int `json:"runs_failed,omitempty"`
+	RunsActive  int `json:"runs_active"`
+
+	Active   []ActiveRun `json:"active,omitempty"`
+	LastDone string      `json:"last_done,omitempty"`
+
+	// FracDone weights finished runs 1 and in-flight runs by their flow
+	// progress; PctDone is the same as a percentage.
+	FracDone float64 `json:"frac_done"`
+	PctDone  float64 `json:"pct_done"`
+	// ETAMs extrapolates wall time per completed fraction (-1 = unknown).
+	ETAMs int64 `json:"eta_ms"`
+
+	// SimNs and Events accumulate over completed plus in-flight runs;
+	// SimPerWall is virtual seconds simulated per wall second.
+	SimNs      int64   `json:"sim_ns"`
+	Events     uint64  `json:"events"`
+	SimPerWall float64 `json:"sim_per_wall"`
+}
+
+// RunHandle is one simulation's channel into the tracker. The owning run
+// goroutine calls Update/SetMetrics/Finish/Fail; everything is cheap enough
+// for slice-boundary cadence. A nil handle is a no-op.
+type RunHandle struct {
+	t     *Tracker
+	label string
+	start time.Time
+
+	simNs        atomic.Int64
+	flowsStarted atomic.Int64
+	flowsDone    atomic.Int64
+	flowsTotal   int64
+	events       atomic.Uint64
+
+	mu      sync.Mutex
+	metrics map[string]float64 // latest live registry snapshot
+}
+
+// Tracker aggregates progress and metrics for every run that attaches to it.
+// Safe for concurrent use: many runs publish while HTTP handlers read.
+type Tracker struct {
+	manifest  telemetry.Manifest
+	startWall time.Time
+
+	planned atomic.Int64
+	done    atomic.Int64
+	failed  atomic.Int64
+
+	mu          sync.Mutex
+	note        string
+	active      map[*RunHandle]struct{}
+	lastDone    string
+	summaries   []RunSummary
+	doneSimNs   int64
+	doneEvents  uint64
+	doneFlows   int64
+	doneMetrics map[string]float64
+	doneHists   map[string]telemetry.HistogramStats
+	flight      *timeseries.Recorder
+	flightLabel string
+	flightGen   uint64 // bumped per attach so streams notice replacement
+}
+
+// NewTracker builds an enabled tracker stamped with the build manifest.
+func NewTracker(m telemetry.Manifest) *Tracker {
+	return &Tracker{
+		manifest:    m,
+		startWall:   time.Now(),
+		active:      map[*RunHandle]struct{}{},
+		doneMetrics: map[string]float64{},
+		doneHists:   map[string]telemetry.HistogramStats{},
+	}
+}
+
+// Manifest returns the build manifest the tracker was created with.
+func (t *Tracker) Manifest() telemetry.Manifest {
+	if t == nil {
+		return telemetry.Manifest{}
+	}
+	return t.manifest
+}
+
+// Plan announces n upcoming runs (cumulative across sweeps).
+func (t *Tracker) Plan(n int) {
+	if t == nil || n <= 0 {
+		return
+	}
+	t.planned.Add(int64(n))
+}
+
+// Note sets the free-form phase description shown in /api/progress.
+func (t *Tracker) Note(s string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.note = s
+	t.mu.Unlock()
+}
+
+// StartRun registers an in-flight simulation. flowsTotal sizes the intra-run
+// progress fraction (<= 0 leaves it unknown).
+func (t *Tracker) StartRun(label string, flowsTotal int) *RunHandle {
+	if t == nil {
+		return nil
+	}
+	h := &RunHandle{t: t, label: label, start: time.Now(), flowsTotal: int64(flowsTotal)}
+	t.mu.Lock()
+	t.active[h] = struct{}{}
+	t.mu.Unlock()
+	return h
+}
+
+// Update publishes the run's position: virtual time reached, flows started
+// and finished, events fired. Called at scheduling-slice boundaries.
+func (h *RunHandle) Update(simNs, flowsStarted, flowsDone int64, events uint64) {
+	if h == nil {
+		return
+	}
+	h.simNs.Store(simNs)
+	h.flowsStarted.Store(flowsStarted)
+	h.flowsDone.Store(flowsDone)
+	h.events.Store(events)
+}
+
+// SetMetrics publishes a live snapshot of the run's telemetry registry
+// values, replacing the previous one.
+func (h *RunHandle) SetMetrics(vals map[string]float64) {
+	if h == nil || vals == nil {
+		return
+	}
+	h.mu.Lock()
+	h.metrics = vals
+	h.mu.Unlock()
+}
+
+func (h *RunHandle) frac() float64 {
+	if h.flowsTotal <= 0 {
+		return 0
+	}
+	f := float64(h.flowsDone.Load()) / float64(h.flowsTotal)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// Finish retires the run as successful: its summary joins /api/report, its
+// final registry totals and histograms accumulate into /metrics.
+func (h *RunHandle) Finish(sum RunSummary, finalMetrics map[string]float64, hists map[string]telemetry.HistogramStats) {
+	if h == nil {
+		return
+	}
+	t := h.t
+	sum.Label = h.label
+	sum.WallMs = time.Since(h.start).Milliseconds()
+	t.mu.Lock()
+	delete(t.active, h)
+	t.lastDone = h.label
+	t.summaries = append(t.summaries, sum)
+	t.doneSimNs += sum.SimDurationNs
+	t.doneEvents += sum.Events
+	t.doneFlows += int64(sum.Flows)
+	for k, v := range finalMetrics {
+		t.doneMetrics[k] += v
+	}
+	for k, hs := range hists {
+		t.doneHists[k] = mergeHist(t.doneHists[k], hs)
+	}
+	t.mu.Unlock()
+	t.done.Add(1)
+}
+
+// Fail retires the run as errored.
+func (h *RunHandle) Fail(err error) {
+	if h == nil {
+		return
+	}
+	t := h.t
+	sum := RunSummary{Label: h.label, WallMs: time.Since(h.start).Milliseconds()}
+	if err != nil {
+		sum.Err = err.Error()
+	}
+	t.mu.Lock()
+	delete(t.active, h)
+	t.summaries = append(t.summaries, sum)
+	t.mu.Unlock()
+	t.failed.Add(1)
+}
+
+// mergeHist accumulates one run's histogram into the process aggregate.
+func mergeHist(acc, hs telemetry.HistogramStats) telemetry.HistogramStats {
+	if acc.Count == 0 {
+		return hs
+	}
+	if hs.Count == 0 {
+		return acc
+	}
+	if hs.Min < acc.Min {
+		acc.Min = hs.Min
+	}
+	if hs.Max > acc.Max {
+		acc.Max = hs.Max
+	}
+	acc.Count += hs.Count
+	acc.Sum += hs.Sum
+	acc.Inf += hs.Inf
+	if len(acc.Buckets) == len(hs.Buckets) {
+		for i := range acc.Buckets {
+			acc.Buckets[i].Count += hs.Buckets[i].Count
+		}
+	}
+	return acc
+}
+
+// AttachFlight makes rec the recording served by /api/series and streamed by
+// /api/series/stream (latest attach wins; runs without a flight recorder
+// leave the previous recording in place for post-run inspection).
+func (t *Tracker) AttachFlight(rec *timeseries.Recorder, label string) {
+	if t == nil || rec == nil {
+		return
+	}
+	t.mu.Lock()
+	t.flight = rec
+	t.flightLabel = label
+	t.flightGen++
+	t.mu.Unlock()
+}
+
+// Flight returns the currently attached recording, its label and an attach
+// generation (readers use the generation to notice replacement mid-stream).
+func (t *Tracker) Flight() (*timeseries.Recorder, string, uint64) {
+	if t == nil {
+		return nil, "", 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.flight, t.flightLabel, t.flightGen
+}
+
+// Progress assembles the /api/progress payload.
+func (t *Tracker) Progress() Progress {
+	if t == nil {
+		return Progress{ETAMs: -1}
+	}
+	now := time.Now()
+	p := Progress{
+		StartUnix:   t.startWall.Unix(),
+		WallMs:      now.Sub(t.startWall).Milliseconds(),
+		RunsPlanned: int(t.planned.Load()),
+		RunsDone:    int(t.done.Load()),
+		RunsFailed:  int(t.failed.Load()),
+		ETAMs:       -1,
+	}
+
+	t.mu.Lock()
+	p.Note = t.note
+	p.LastDone = t.lastDone
+	p.SimNs = t.doneSimNs
+	p.Events = t.doneEvents
+	var activeFrac float64
+	for h := range t.active {
+		a := ActiveRun{
+			Label:        h.label,
+			SimNs:        h.simNs.Load(),
+			FlowsStarted: h.flowsStarted.Load(),
+			FlowsDone:    h.flowsDone.Load(),
+			FlowsTotal:   h.flowsTotal,
+			Frac:         h.frac(),
+			WallMs:       now.Sub(h.start).Milliseconds(),
+		}
+		p.Active = append(p.Active, a)
+		p.SimNs += a.SimNs
+		p.Events += h.events.Load()
+		activeFrac += a.Frac
+	}
+	t.mu.Unlock()
+
+	sort.Slice(p.Active, func(i, j int) bool { return p.Active[i].Label < p.Active[j].Label })
+	p.RunsActive = len(p.Active)
+	planned := p.RunsPlanned
+	if floor := p.RunsDone + p.RunsFailed + p.RunsActive; planned < floor {
+		planned = floor
+	}
+	if planned > 0 {
+		p.FracDone = (float64(p.RunsDone+p.RunsFailed) + activeFrac) / float64(planned)
+		if p.FracDone > 1 {
+			p.FracDone = 1
+		}
+		p.PctDone = 100 * p.FracDone
+		if p.FracDone > 0 && p.FracDone < 1 {
+			p.ETAMs = int64(float64(p.WallMs) * (1 - p.FracDone) / p.FracDone)
+		}
+		if p.FracDone >= 1 {
+			p.ETAMs = 0
+		}
+	}
+	if p.WallMs > 0 {
+		p.SimPerWall = float64(p.SimNs) / 1e6 / float64(p.WallMs)
+	}
+	return p
+}
+
+// Summaries returns a copy of the completed-run records.
+func (t *Tracker) Summaries() []RunSummary {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]RunSummary(nil), t.summaries...)
+}
+
+// StatusReport is the /api/report payload: what the process has produced so
+// far, refreshing as runs complete.
+type StatusReport struct {
+	Manifest telemetry.Manifest `json:"manifest"`
+	Progress Progress           `json:"progress"`
+	Runs     []RunSummary       `json:"runs"`
+}
+
+// Report assembles the /api/report payload.
+func (t *Tracker) Report() StatusReport {
+	return StatusReport{
+		Manifest: t.Manifest(),
+		Progress: t.Progress(),
+		Runs:     t.Summaries(),
+	}
+}
+
+// StartLogging prints one plain-text progress line to w every interval until
+// the returned stop function is called (which prints a final line). This is
+// the -progress surface: useful exactly when no status server is attached.
+func (t *Tracker) StartLogging(w io.Writer, every time.Duration) (stop func()) {
+	if t == nil || w == nil {
+		return func() {}
+	}
+	if every <= 0 {
+		every = 5 * time.Second
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				fmt.Fprintln(w, t.ProgressLine())
+			}
+		}
+	}()
+	return func() {
+		once.Do(func() {
+			close(done)
+			fmt.Fprintln(w, t.ProgressLine())
+		})
+	}
+}
+
+// ProgressLine renders one human-readable progress line.
+func (t *Tracker) ProgressLine() string {
+	p := t.Progress()
+	eta := "-"
+	if p.ETAMs >= 0 {
+		eta = (time.Duration(p.ETAMs) * time.Millisecond).Round(time.Second).String()
+	}
+	line := fmt.Sprintf("progress: %d/%d runs (%.1f%%) eta %s sim %.1fms @%.2fx",
+		p.RunsDone, p.RunsPlanned, p.PctDone, eta, float64(p.SimNs)/1e6, p.SimPerWall)
+	if p.RunsFailed > 0 {
+		line += fmt.Sprintf(" failed=%d", p.RunsFailed)
+	}
+	if len(p.Active) > 0 {
+		line += " active " + p.Active[0].Label
+		if len(p.Active) > 1 {
+			line += fmt.Sprintf(" (+%d)", len(p.Active)-1)
+		}
+	}
+	return line
+}

@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// ManifestSchema identifies the manifest layout; bump on breaking changes.
+const ManifestSchema = "hermes-manifest/v1"
+
+// Manifest records the provenance of a run: which build produced it, from
+// which VCS revision, with which configuration and seeds, started when. The
+// build fields come from debug.ReadBuildInfo, so binaries built with module
+// and VCS stamping (the default for `go build` inside a repository) carry
+// their revision automatically.
+//
+// StartTime is the wall time the process first built a manifest, not
+// simulation time. It is served on live surfaces (/api/manifest, status
+// reports) but stripped by WithConfig, because written report artifacts
+// are byte-identical functions of (Config, Seed) and must not embed wall
+// clock.
+type Manifest struct {
+	Schema      string `json:"schema"`
+	Module      string `json:"module,omitempty"`
+	Version     string `json:"version,omitempty"`
+	GoVersion   string `json:"go_version"`
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	VCSModified bool   `json:"vcs_modified,omitempty"`
+	StartTime   string `json:"start_time,omitempty"`
+
+	// ConfigHash is the hex SHA-256 of the run's canonical config JSON, and
+	// Seeds the seed list the artifact covers. Both are stamped per artifact
+	// by WithConfig; the process-wide base manifest leaves them empty.
+	ConfigHash string  `json:"config_hash,omitempty"`
+	Seeds      []int64 `json:"seeds,omitempty"`
+}
+
+var (
+	manifestOnce sync.Once
+	baseManifest Manifest
+)
+
+// BuildManifest returns the process-wide base manifest (computed once; cheap
+// afterwards).
+func BuildManifest() Manifest {
+	manifestOnce.Do(func() {
+		m := Manifest{
+			Schema:    ManifestSchema,
+			GoVersion: runtime.Version(),
+			StartTime: time.Now().UTC().Format(time.RFC3339),
+		}
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			m.Module = bi.Main.Path
+			m.Version = bi.Main.Version
+			for _, s := range bi.Settings {
+				switch s.Key {
+				case "vcs.revision":
+					m.VCSRevision = s.Value
+				case "vcs.time":
+					m.VCSTime = s.Value
+				case "vcs.modified":
+					m.VCSModified = s.Value == "true"
+				}
+			}
+		}
+		baseManifest = m
+	})
+	return baseManifest
+}
+
+// WithConfig returns a copy of the manifest stamped with the hash of one
+// experiment's config JSON and the seed list the artifact covers. The copy
+// drops StartTime: WithConfig exists to stamp written artifacts, and those
+// stay byte-identical across invocations of the same (Config, Seed).
+func (m Manifest) WithConfig(configJSON []byte, seeds []int64) Manifest {
+	m.StartTime = ""
+	if len(configJSON) > 0 {
+		sum := sha256.Sum256(configJSON)
+		m.ConfigHash = hex.EncodeToString(sum[:])
+	}
+	if len(seeds) > 0 {
+		m.Seeds = append([]int64(nil), seeds...)
+	}
+	return m
+}
+
+// String renders the one-line -version form.
+func (m Manifest) String() string {
+	version := m.Version
+	if version == "" || version == "(devel)" {
+		version = "devel"
+	}
+	rev := m.VCSRevision
+	if rev == "" {
+		rev = "unknown"
+	} else if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	dirty := ""
+	if m.VCSModified {
+		dirty = "+dirty"
+	}
+	return fmt.Sprintf("%s %s (rev %s%s, %s)", m.Module, version, rev, dirty, m.GoVersion)
+}

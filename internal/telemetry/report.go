@@ -55,6 +55,11 @@ type Report struct {
 	// Config is the full experiment configuration as provided by the caller.
 	Config json.RawMessage `json:"config,omitempty"`
 
+	// Manifest records build/VCS provenance when the producer attached one
+	// (CLIs do; the in-process API leaves it nil so reports stay a pure
+	// function of (config, seed) across machines and commits).
+	Manifest *Manifest `json:"manifest,omitempty"`
+
 	SimDurationNs int64  `json:"sim_duration_ns"`
 	Events        uint64 `json:"events"`
 

@@ -1,6 +1,10 @@
 package timeseries
 
-import "github.com/hermes-repro/hermes/internal/sim"
+import (
+	"sync"
+
+	"github.com/hermes-repro/hermes/internal/sim"
+)
 
 // Defaults for the flight recorder.
 const (
@@ -65,6 +69,12 @@ type probe struct {
 //
 // A nil *Recorder is the disabled state: every method is a no-op, so
 // instrumentation sites can call unconditionally.
+//
+// The recorder is written by exactly one goroutine (the simulation), but may
+// be read concurrently by status-server goroutines through the accessors and
+// SnapshotSince. mu seals each row: Snap evaluates every probe first, then
+// publishes the complete row under the lock, so a concurrent reader never
+// observes a torn (appended-but-half-filled) sample.
 type Recorder struct {
 	Eng      *sim.Engine
 	Interval sim.Time // sampling period (<= 0 picks DefaultInterval)
@@ -76,12 +86,15 @@ type Recorder struct {
 	// Meta is stamped by the run harness before export.
 	Meta Meta
 
+	mu          sync.Mutex
 	cols        Columns
 	probes      []probe
 	probeIdx    map[string]int
 	tickFns     []func()
+	scratch     []float64 // probe values staged outside the lock
 	transitions []Transition
-	// DroppedTransitions counts log entries discarded at the cap.
+	// DroppedTransitions counts log entries discarded at the cap. Written
+	// under mu; read it only from the simulation goroutine or after the run.
 	DroppedTransitions int
 	stopped            bool
 }
@@ -138,6 +151,8 @@ func (r *Recorder) AddTransition(t Transition) {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.MaxTransitions > 0 && len(r.transitions) >= r.MaxTransitions {
 		r.DroppedTransitions++
 		return
@@ -173,6 +188,11 @@ func (r *Recorder) tick() {
 
 // Snap takes one sample immediately (also used for the final sweep at run
 // end so the last interval always appears).
+//
+// Tick hooks and probes run before the lock is taken — they read and mutate
+// simulation state, which concurrent snapshot readers never touch — and the
+// completed row is then published atomically, so SnapshotSince observes only
+// sealed rows.
 func (r *Recorder) Snap() {
 	if r == nil || r.Eng == nil {
 		return
@@ -180,9 +200,15 @@ func (r *Recorder) Snap() {
 	for _, fn := range r.tickFns {
 		fn()
 	}
-	r.cols.Append(r.Eng.Now())
+	r.scratch = r.scratch[:0]
 	for _, p := range r.probes {
-		r.cols.Put(p.name, p.fn())
+		r.scratch = append(r.scratch, p.fn())
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cols.Append(r.Eng.Now())
+	for i, p := range r.probes {
+		r.cols.Put(p.name, r.scratch[i])
 	}
 }
 
@@ -191,6 +217,8 @@ func (r *Recorder) Len() int {
 	if r == nil {
 		return 0
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return r.cols.Len()
 }
 
@@ -199,6 +227,8 @@ func (r *Recorder) TruncatedSamples() int {
 	if r == nil {
 		return 0
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return r.cols.Truncated()
 }
 
@@ -207,6 +237,8 @@ func (r *Recorder) Times() []int64 {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return r.cols.Times()
 }
 
@@ -215,6 +247,8 @@ func (r *Recorder) Names() []string {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return r.cols.Names()
 }
 
@@ -223,14 +257,18 @@ func (r *Recorder) Series(name string) []float64 {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return r.cols.Series(name)
 }
 
 // Transitions returns the path-state transition log in record order. The
-// slice is shared; do not mutate it.
+// slice is shared with the recorder; do not mutate it.
 func (r *Recorder) Transitions() []Transition {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return r.transitions
 }

@@ -176,6 +176,18 @@ func runConfigsPool(ctx context.Context, cfgs []Config, labels []string, opts Pa
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// Announce the batch on the status plane(s) the runs will publish to —
+	// configs may carry distinct trackers, so tally per tracker.
+	planned := map[*Status]int{}
+	for i := range cfgs {
+		if st := statusFor(&cfgs[i]); st != nil {
+			planned[st]++
+		}
+	}
+	for st, n := range planned {
+		st.Plan(n)
+	}
+
 	errs := make([]error, len(cfgs))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -186,6 +198,7 @@ func runConfigsPool(ctx context.Context, cfgs []Config, labels []string, opts Pa
 			for i := range jobs {
 				c := cfgs[i]
 				c.ctx = ctx
+				c.statusLabel = labels[i]
 				res, err := Run(c)
 				if err != nil {
 					errs[i] = fmt.Errorf("%s: %w", labels[i], err)
@@ -319,6 +332,11 @@ type SchemeScore struct {
 
 // ChaosMatrix is the scheme x failure resilience report.
 type ChaosMatrix struct {
+	// Manifest records build/VCS provenance when the producer attached one
+	// (hermes-chaos does; RunChaosMatrix leaves it nil so the matrix stays a
+	// pure function of its config across machines and commits).
+	Manifest *Manifest `json:"manifest,omitempty"`
+
 	Schemes   []Scheme `json:"schemes"`
 	Scenarios []string `json:"scenarios"`
 	Seeds     []int64  `json:"seeds"`
@@ -395,6 +413,9 @@ func RunChaosMatrix(ctx context.Context, mc ChaosMatrixConfig) (*ChaosMatrix, er
 			}
 		}
 	}
+	statusFor(&mc.Base).Note(fmt.Sprintf(
+		"chaos matrix: %d schemes x %d scenarios x %d seeds (+clean baselines)",
+		len(mc.Schemes), len(mc.Scenarios), len(mc.Seeds)))
 	results, err := runConfigsPool(ctx, cfgs, labels, mc.Options)
 	if err != nil {
 		return nil, err
