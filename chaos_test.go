@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -311,6 +313,65 @@ func TestRunChaosMatrix(t *testing.T) {
 	bad.Scenarios = []*Scenario{spineBH, spineBH}
 	if _, err := RunChaosMatrix(context.Background(), bad); err == nil {
 		t.Error("duplicate scenario names accepted")
+	}
+}
+
+// TestChaosScorecardGolden byte-pins a small resilience matrix featuring the
+// post-Hermes schemes (REPS, RepFlow) next to Hermes itself. The matrix JSON
+// is a pure function of (ChaosMatrixConfig, Seeds) — no manifest, no wall
+// clock — so any drift in scheme behavior, recovery scoring or scorecard
+// schema shows up as a reviewable diff. Regenerate with
+// `go test -run ChaosScorecardGolden -update`.
+func TestChaosScorecardGolden(t *testing.T) {
+	base := chaosConfig(SchemeHermes, nil)
+	base.Flows = 40 // fixed, NOT flowCount: the golden must not depend on -short
+	spineBH, err := BuiltinScenario("spine-blackhole", base.Topology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := RunChaosMatrix(context.Background(), ChaosMatrixConfig{
+		Base:      base,
+		Schemes:   []Scheme{SchemeHermes, SchemeREPS, SchemeRepFlow},
+		Scenarios: []*Scenario{spineBH},
+		Seeds:     Seeds(11, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	path := filepath.Join("testdata", "chaos_scorecard_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("scorecard differs from %s (len %d vs %d); regenerate with -update and review",
+			path, len(got), len(want))
+	}
+
+	// Every cell must carry recovery metrics, and the new schemes must be
+	// honest about lacking a detector.
+	for _, scheme := range []Scheme{SchemeREPS, SchemeRepFlow} {
+		c := m.Cell(scheme, "spine-blackhole")
+		if c == nil || c.Runs == 0 {
+			t.Fatalf("%s: missing scorecard cell", scheme)
+		}
+		if c.DetectedRuns != 0 {
+			t.Errorf("%s claims a detection transition; it has no path-state machine", scheme)
+		}
 	}
 }
 

@@ -360,6 +360,7 @@ func fig11(o options) {
 var simSchemes = []hermes.Scheme{
 	hermes.SchemeECMP, hermes.SchemePresto, hermes.SchemeCONGA,
 	hermes.SchemeLetFlow, hermes.SchemeCLOVE, hermes.SchemeHermes,
+	hermes.SchemeREPS, hermes.SchemeRepFlow,
 }
 
 func fig12(o options) {
@@ -453,7 +454,8 @@ func fig15(o options) {
 
 var failureSchemes = []hermes.Scheme{
 	hermes.SchemeECMP, hermes.SchemePresto, hermes.SchemeCONGA,
-	hermes.SchemeLetFlow, hermes.SchemeHermes,
+	hermes.SchemeLetFlow, hermes.SchemeREPS, hermes.SchemeRepFlow,
+	hermes.SchemeHermes,
 }
 
 func fig16(o options) {

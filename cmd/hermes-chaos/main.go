@@ -8,6 +8,7 @@
 //
 //	hermes-chaos                                       # default matrix
 //	hermes-chaos -schemes hermes,ecmp -scenarios spine-blackhole,multi
+//	hermes-chaos -schemes hermes,reps,repflow,ecmp,presto -scenarios all
 //	hermes-chaos -scenarios random -chaos-intensity 0.8 -seeds 5
 //	hermes-chaos -json -out matrix.json
 package main
@@ -28,8 +29,8 @@ import (
 
 func main() {
 	var (
-		schemesFlag   = flag.String("schemes", "hermes,ecmp,presto,conga,letflow", "comma-separated schemes to compare")
-		scenariosFlag = flag.String("scenarios", "spine-blackhole,blackhole-recover,drop-recover,multi", `comma-separated builtin scenarios (see -list), plus "random"`)
+		schemesFlag   = flag.String("schemes", "hermes,ecmp,presto,conga,letflow,reps,repflow", "comma-separated schemes to compare")
+		scenariosFlag = flag.String("scenarios", "spine-blackhole,blackhole-recover,drop-recover,multi", `comma-separated builtin scenarios (see -list), "random", or "all" for every builtin`)
 		listFlag      = flag.Bool("list", false, "list builtin scenarios and exit")
 		topoName      = flag.String("topology", "chaos", `"chaos" (2x2, 1G hosts), "testbed" (2x2, 1G), "small" (4x4, 10G) or "large" (8x8, 10G)`)
 		workload      = flag.String("workload", "web-search", "web-search|data-mining")
@@ -90,6 +91,16 @@ func main() {
 		}
 		if name == "random" {
 			scenarios = append(scenarios, hermes.RandomScenario(topo, *seedBase, *intensity))
+			continue
+		}
+		if name == "all" {
+			for _, n := range hermes.ScenarioNames() {
+				sc, err := hermes.BuiltinScenario(n, topo)
+				if err != nil {
+					log.Fatal(err)
+				}
+				scenarios = append(scenarios, sc)
+			}
 			continue
 		}
 		sc, err := hermes.BuiltinScenario(name, topo)

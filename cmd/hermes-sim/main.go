@@ -22,7 +22,7 @@ import (
 func main() {
 	var (
 		topoName = flag.String("topology", "large", `"testbed" (2x2, 1G), "large" (8x8, 10G) or "small" (4x4, 10G)`)
-		scheme   = flag.String("scheme", "hermes", "ecmp|presto|drb|letflow|drill|conga|clove|flowbender|hermes")
+		scheme   = flag.String("scheme", "hermes", "ecmp|presto|drb|letflow|drill|conga|clove|flowbender|mptcp|reps|repflow|hermes")
 		workload = flag.String("workload", "web-search", "web-search|data-mining")
 		wlFile   = flag.String("workload-file", "", "custom flow-size CDF file (overrides -workload)")
 		load     = flag.Float64("load", 0.6, "offered load as a fraction of bisection bandwidth")
@@ -59,6 +59,7 @@ func main() {
 		tsUs         = flag.Int64("timeseries-us", 0, "flight-recorder sampling interval in microseconds (0 = 100us default)")
 		tsCap        = flag.Int("timeseries-cap", 0, "max retained samples per series, ring-buffered (0 = default)")
 		subflows     = flag.Int("mptcp-subflows", 4, "subflows per logical flow (mptcp scheme)")
+		repThresh    = flag.Int64("repflow-threshold", 0, "replicate flows smaller than this many bytes (repflow scheme; 0 = 100 KB default)")
 		checks       = flag.Bool("checks", false, "arm the simulation invariant harness (engine + packet-conservation checks)")
 		configFile   = flag.String("config", "", "load the full experiment Config from a JSON file (overrides other flags)")
 		statusAddr   = flag.String("status", "", `serve the live status plane on this address while the run executes (e.g. ":8080"; see /api/progress, /metrics)`)
@@ -113,18 +114,19 @@ func main() {
 	}
 
 	cfg := hermes.Config{
-		Topology:          topo,
-		Scheme:            hermes.Scheme(*scheme),
-		Workload:          *workload,
-		WorkloadFile:      *wlFile,
-		Load:              *load,
-		Flows:             *flows,
-		Seed:              *seed,
-		Protocol:          *protocol,
-		FlowletTimeoutNs:  *flowlet * 1000,
-		MaxFlowBytes:      *maxFlow,
-		MeasureVisibility: *visibility,
-		MPTCPSubflows:     *subflows,
+		Topology:              topo,
+		Scheme:                hermes.Scheme(*scheme),
+		Workload:              *workload,
+		WorkloadFile:          *wlFile,
+		Load:                  *load,
+		Flows:                 *flows,
+		Seed:                  *seed,
+		Protocol:              *protocol,
+		FlowletTimeoutNs:      *flowlet * 1000,
+		MaxFlowBytes:          *maxFlow,
+		MeasureVisibility:     *visibility,
+		MPTCPSubflows:         *subflows,
+		RepFlowThresholdBytes: *repThresh,
 		Failure: hermes.FailureSpec{
 			Kind:     hermes.FailureKind(*failKind),
 			Spine:    *spine,

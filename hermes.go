@@ -64,6 +64,17 @@ const (
 	// SchemeWCMP is weighted-cost multipath: per-flow capacity-weighted
 	// hashing, the static asymmetry-aware strawman (extension).
 	SchemeWCMP Scheme = "wcmp"
+	// SchemeREPS is recycled entropy packet spraying (extension; the
+	// post-Hermes "next decade" spray): senders cache the entropies of
+	// packets whose ACKs recently came back clean and respray those,
+	// evicting on ECN/retransmit/RTO, with round-robin fresh entropies as
+	// the fallback. See internal/lb/reps.go.
+	SchemeREPS Scheme = "reps"
+	// SchemeRepFlow is flow replication (extension): short flows (below
+	// Config.RepFlowThresholdBytes) run as two independently ECMP-hashed
+	// copies; the first to finish wins and the loser is cancelled. See
+	// internal/transport/repflow.go.
+	SchemeRepFlow Scheme = "repflow"
 )
 
 // Schemes lists every supported scheme.
@@ -71,7 +82,7 @@ func Schemes() []Scheme {
 	return []Scheme{
 		SchemeECMP, SchemeWCMP, SchemePresto, SchemeDRB, SchemeLetFlow,
 		SchemeDRILL, SchemeCONGA, SchemeCLOVE, SchemeEdgeFlowlet, SchemeHULA,
-		SchemeFlowBender, SchemeMPTCP, SchemeHermes,
+		SchemeFlowBender, SchemeMPTCP, SchemeREPS, SchemeRepFlow, SchemeHermes,
 	}
 }
 
@@ -136,7 +147,7 @@ const (
 	// lose packets on every flow. The worst §5.3.3-class malfunction.
 	FailureSpineBlackhole FailureKind = "spine-blackhole"
 	FailureDegrade        FailureKind = "degrade"
-	FailureCutLink    FailureKind = "cut-link"
+	FailureCutLink        FailureKind = "cut-link"
 	// FailureCutCable removes a single physical cable of a multi-cable
 	// leaf-spine link (the paper's testbed Fig 8b cut).
 	FailureCutCable FailureKind = "cut-cable"
@@ -238,6 +249,12 @@ type Config struct {
 
 	// MPTCPSubflows sets the subflow count for SchemeMPTCP (default 4).
 	MPTCPSubflows int
+
+	// RepFlowThresholdBytes is the replicate-below size bound for
+	// SchemeRepFlow (0 = transport.DefaultRepFlowThreshold, 100 KB). Flows
+	// at or above it run unreplicated. (omitempty keeps reports from other
+	// schemes byte-stable.)
+	RepFlowThresholdBytes int64 `json:",omitempty"`
 
 	// TraceWriter, when non-nil, receives a JSONL stream of per-flow load
 	// balancing events and path-residency spans (placements, path changes,
@@ -348,6 +365,20 @@ type Result struct {
 	ProbeBytes      uint64
 	// ProbeOverhead is probe bytes/s over one access link's capacity.
 	ProbeOverhead float64
+
+	// REPS telemetry (zero for other schemes): sprays served from the
+	// recycled-entropy cache vs fresh round-robin entropies, and cache
+	// evictions triggered by ECN/retransmit/RTO signals.
+	RecycledSprays   uint64 `json:",omitempty"`
+	FreshSprays      uint64 `json:",omitempty"`
+	EntropyEvictions uint64 `json:",omitempty"`
+
+	// RepFlow telemetry (zero for other schemes): logical flows replicated,
+	// races won by the replica copy, and payload bytes the cancelled losers
+	// had injected (the scheme's bandwidth overhead).
+	ReplicatedFlows uint64 `json:",omitempty"`
+	ReplicaWins     uint64 `json:",omitempty"`
+	RedundantBytes  uint64 `json:",omitempty"`
 
 	// TraceCounts summarizes recorded trace events by kind (only when
 	// Config.TraceWriter was set).
@@ -625,8 +656,35 @@ func Run(cfg Config) (res *Result, err error) {
 		}
 		gen.StartFlowFn = func(src, dst int, size int64) {
 			g := tr.StartMPTCP(src, dst, size, k)
-			g.OnDone = func(g *transport.MPTCPGroup) { rec.Record(g.Size, g.FCT()) }
+			g.OnDone = func(g *transport.MPTCPGroup) {
+				deliveredBytes += g.Size
+				flowsDone++
+				rec.Record(g.Size, g.FCT())
+			}
 			groups = append(groups, g)
+		}
+	}
+	var repGroups []*transport.RepFlowGroup
+	if cfg.Scheme == SchemeRepFlow {
+		thresh := cfg.RepFlowThresholdBytes
+		if thresh <= 0 {
+			thresh = transport.DefaultRepFlowThreshold
+		}
+		attachRepFlowObservability(tr, rd, flight)
+		gen.StartFlowFn = func(src, dst int, size int64) {
+			if size >= thresh {
+				// Long flows run unreplicated and report through the
+				// ordinary tr.OnFlowDone path.
+				tr.StartFlow(src, dst, size)
+				return
+			}
+			g := tr.StartRepFlow(src, dst, size)
+			g.OnDone = func(g *transport.RepFlowGroup) {
+				deliveredBytes += g.Size
+				flowsDone++
+				rec.Record(g.Size, g.FCT())
+			}
+			repGroups = append(repGroups, g)
 		}
 	}
 	gen.Start()
@@ -694,6 +752,11 @@ func Run(cfg Config) (res *Result, err error) {
 			rec.RecordUnfinished(g.Size, eng.Now()-g.StartAt)
 		}
 	}
+	for _, g := range repGroups {
+		if !g.Done {
+			rec.RecordUnfinished(g.Size, eng.Now()-g.StartAt)
+		}
+	}
 
 	res = &Result{
 		Scheme:      cfg.Scheme,
@@ -715,6 +778,11 @@ func Run(cfg Config) (res *Result, err error) {
 		res.VisibilityHostPair = vis.HostPair()
 	}
 	wiring.fillTelemetry(res, eng)
+	if cfg.Scheme == SchemeRepFlow {
+		res.ReplicatedFlows = tr.RepFlowsStarted
+		res.ReplicaWins = tr.ReplicaWins
+		res.RedundantBytes = tr.RedundantBytes
+	}
 	if rd != nil {
 		// Stop sweeping and take one final snapshot so every counter's end
 		// state appears in the last series sample.

@@ -1,0 +1,227 @@
+package lb
+
+import (
+	"github.com/hermes-repro/hermes/internal/net"
+	"github.com/hermes-repro/hermes/internal/transport"
+)
+
+// REPS (recycled entropy packet spraying) is the post-Hermes spraying scheme:
+// instead of spraying obliviously like Presto*/DRB, each sender caches the
+// "entropies" (here: path indices) of packets whose ACKs recently came back
+// clean, and prefers to respray those. Paths that deliver keep re-entering
+// the cache; paths that blackhole or congest stop contributing ACKs (and are
+// actively evicted on ECN, fast retransmit and RTO), so within roughly one
+// round-trip of in-flight data the spray distribution steers itself away from
+// a failed or congested spine with no explicit path-state machine. When the
+// cache runs dry the sender falls back to fresh entropies chosen round-robin
+// over the currently available paths.
+//
+// The cache is per (sender host, destination leaf), mirroring how the real
+// scheme scopes entropies to a destination: ACK signals from one rack pair
+// never steer another pair's traffic.
+
+// DefaultRepsCacheCap bounds each (host, dstLeaf) entropy cache. One window
+// of a short flow is ~10 segments, so 32 recycled entropies comfortably cover
+// the spray decisions of the flows a host runs concurrently to one rack
+// while still draining stale entries quickly after a failure.
+const DefaultRepsCacheCap = 32
+
+// EntropyCache is a bounded FIFO of path entropies backed by a ring buffer.
+// Put on a full cache overwrites the oldest entry; Evict removes every copy
+// of one entropy. The zero value is unusable; use NewEntropyCache.
+type EntropyCache struct {
+	buf  []int
+	head int // index of the oldest entry
+	n    int
+}
+
+// NewEntropyCache returns a cache bounded to capacity entries (minimum 1).
+func NewEntropyCache(capacity int) *EntropyCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &EntropyCache{buf: make([]int, capacity)}
+}
+
+// Len returns the number of cached entropies.
+func (c *EntropyCache) Len() int { return c.n }
+
+// Cap returns the cache bound.
+func (c *EntropyCache) Cap() int { return len(c.buf) }
+
+// Put appends an entropy, dropping the oldest entry when full.
+func (c *EntropyCache) Put(e int) {
+	tail := (c.head + c.n) % len(c.buf)
+	c.buf[tail] = e
+	if c.n == len(c.buf) {
+		c.head = (c.head + 1) % len(c.buf) // overwrote the oldest
+	} else {
+		c.n++
+	}
+}
+
+// Pop removes and returns the oldest entropy; ok is false when empty.
+func (c *EntropyCache) Pop() (e int, ok bool) {
+	if c.n == 0 {
+		return 0, false
+	}
+	e = c.buf[c.head]
+	c.head = (c.head + 1) % len(c.buf)
+	c.n--
+	return e, true
+}
+
+// Evict removes every cached copy of entropy e, preserving the FIFO order of
+// the survivors, and returns how many entries it removed.
+func (c *EntropyCache) Evict(e int) int {
+	kept, removed := 0, 0
+	for i := 0; i < c.n; i++ {
+		v := c.buf[(c.head+i)%len(c.buf)]
+		if v == e {
+			removed++
+			continue
+		}
+		c.buf[(c.head+kept)%len(c.buf)] = v
+		kept++
+	}
+	c.n = kept
+	return removed
+}
+
+// Reps is the per-host REPS balancer.
+type Reps struct {
+	transport.BaseBalancer
+	Net *net.Network
+
+	// Spray outcome counters, exposed for telemetry and tests.
+	RecycledSprays uint64 // segments sent on a cached entropy
+	FreshSprays    uint64 // segments sent on a round-robin fresh entropy
+	Evictions      uint64 // cache entries removed by ECN/retransmit/RTO
+	StaleSkips     uint64 // popped entropies whose path was no longer up
+
+	cacheCap       int
+	perDst         []*EntropyCache // indexed by destination leaf
+	rr             uint64          // fresh-entropy round-robin cursor
+	recycledByPath []uint64
+	freshByPath    []uint64
+}
+
+// NewReps builds a REPS balancer for one host. cacheCap <= 0 selects
+// DefaultRepsCacheCap.
+func NewReps(nw *net.Network, cacheCap int) *Reps {
+	if cacheCap <= 0 {
+		cacheCap = DefaultRepsCacheCap
+	}
+	return &Reps{
+		Net:            nw,
+		cacheCap:       cacheCap,
+		perDst:         make([]*EntropyCache, nw.Cfg.Leaves),
+		recycledByPath: make([]uint64, nw.NPaths()),
+		freshByPath:    make([]uint64, nw.NPaths()),
+	}
+}
+
+// Name implements transport.Balancer.
+func (r *Reps) Name() string { return "REPS" }
+
+func (r *Reps) cache(dstLeaf int) *EntropyCache {
+	c := r.perDst[dstLeaf]
+	if c == nil {
+		c = NewEntropyCache(r.cacheCap)
+		r.perDst[dstLeaf] = c
+	}
+	return c
+}
+
+// SelectPath implements transport.Balancer: recycle the oldest cached
+// entropy for this destination, else spray a fresh one round-robin.
+func (r *Reps) SelectPath(f *transport.Flow) int {
+	paths := r.Net.AvailablePaths(f.SrcLeaf, f.DstLeaf)
+	if len(paths) == 0 {
+		return net.PathAny
+	}
+	c := r.cache(f.DstLeaf)
+	for {
+		e, ok := c.Pop()
+		if !ok {
+			break
+		}
+		if !pathIn(paths, e) {
+			// Routing withdrew the path since the entropy was cached.
+			r.StaleSkips++
+			continue
+		}
+		r.RecycledSprays++
+		r.recycledByPath[e]++
+		return e
+	}
+	r.rr++
+	p := paths[int(r.rr%uint64(len(paths)))]
+	r.FreshSprays++
+	r.freshByPath[p]++
+	return p
+}
+
+// OnAck implements transport.Balancer: a clean delivery recycles the packet's
+// entropy; an ECN echo evicts every cached copy of that path.
+func (r *Reps) OnAck(f *transport.Flow, ev transport.AckEvent) {
+	if ev.Path < 0 {
+		return
+	}
+	if ev.ECE {
+		r.Evictions += uint64(r.cache(f.DstLeaf).Evict(ev.Path))
+		return
+	}
+	if ev.Dup {
+		return
+	}
+	r.cache(f.DstLeaf).Put(ev.Path)
+}
+
+// OnRetransmit implements transport.Balancer: a fast retransmit marks the
+// suspect path's entropies dead.
+func (r *Reps) OnRetransmit(f *transport.Flow, path int) {
+	r.evictPath(f.DstLeaf, path)
+}
+
+// OnTimeout implements transport.Balancer: an RTO is the strongest failure
+// signal; purge the path from the destination's cache.
+func (r *Reps) OnTimeout(f *transport.Flow, path int) {
+	r.evictPath(f.DstLeaf, path)
+}
+
+func (r *Reps) evictPath(dstLeaf, path int) {
+	if path < 0 || dstLeaf < 0 || dstLeaf >= len(r.perDst) {
+		return
+	}
+	r.Evictions += uint64(r.cache(dstLeaf).Evict(path))
+}
+
+// CachedEntropies returns the total entropies currently cached across
+// destinations (telemetry gauge).
+func (r *Reps) CachedEntropies() int {
+	total := 0
+	for _, c := range r.perDst {
+		if c != nil {
+			total += c.Len()
+		}
+	}
+	return total
+}
+
+// SprayCounts returns copies of the per-path recycled and fresh spray
+// counters (indexed by path).
+func (r *Reps) SprayCounts() (recycled, fresh []uint64) {
+	recycled = append([]uint64(nil), r.recycledByPath...)
+	fresh = append([]uint64(nil), r.freshByPath...)
+	return recycled, fresh
+}
+
+func pathIn(paths []int, p int) bool {
+	for _, q := range paths {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}

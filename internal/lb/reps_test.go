@@ -1,0 +1,230 @@
+package lb
+
+import (
+	"testing"
+
+	"github.com/hermes-repro/hermes/internal/transport"
+)
+
+func TestEntropyCacheFIFO(t *testing.T) {
+	c := NewEntropyCache(8)
+	if _, ok := c.Pop(); ok {
+		t.Fatal("empty cache popped a value")
+	}
+	for _, e := range []int{3, 1, 4} {
+		c.Put(e)
+	}
+	if c.Len() != 3 || c.Cap() != 8 {
+		t.Fatalf("len=%d cap=%d, want 3/8", c.Len(), c.Cap())
+	}
+	for _, want := range []int{3, 1, 4} {
+		got, ok := c.Pop()
+		if !ok || got != want {
+			t.Fatalf("Pop = %d,%v, want %d", got, ok, want)
+		}
+	}
+	if c.Len() != 0 {
+		t.Fatal("cache not empty after draining")
+	}
+}
+
+func TestEntropyCacheOverwritesOldest(t *testing.T) {
+	c := NewEntropyCache(3)
+	for e := 1; e <= 5; e++ {
+		c.Put(e)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want bound 3", c.Len())
+	}
+	for _, want := range []int{3, 4, 5} {
+		if got, _ := c.Pop(); got != want {
+			t.Fatalf("Pop = %d, want %d (oldest must be overwritten)", got, want)
+		}
+	}
+}
+
+func TestEntropyCacheEvict(t *testing.T) {
+	c := NewEntropyCache(8)
+	for _, e := range []int{1, 2, 1, 3, 1} {
+		c.Put(e)
+	}
+	if got := c.Evict(1); got != 3 {
+		t.Fatalf("Evict removed %d entries, want 3", got)
+	}
+	for _, want := range []int{2, 3} {
+		if got, _ := c.Pop(); got != want {
+			t.Fatalf("Pop = %d, want %d (survivor order must hold)", got, want)
+		}
+	}
+	// An evicted entropy is gone for good until re-Put.
+	c.Put(1)
+	if got, ok := c.Pop(); !ok || got != 1 {
+		t.Fatal("re-Put after Evict must work")
+	}
+	if got := c.Evict(9); got != 0 {
+		t.Fatalf("Evict of absent entropy removed %d", got)
+	}
+}
+
+func TestEntropyCacheMinCapacity(t *testing.T) {
+	c := NewEntropyCache(0)
+	if c.Cap() != 1 {
+		t.Fatalf("cap = %d, want clamp to 1", c.Cap())
+	}
+	c.Put(7)
+	c.Put(8)
+	if got, _ := c.Pop(); got != 8 {
+		t.Fatalf("Pop = %d, want 8 (single slot keeps the newest)", got)
+	}
+}
+
+func TestRepsRecyclesAckedEntropy(t *testing.T) {
+	_, nw := testNet(t, 2, 4, 2)
+	r := NewReps(nw, 0)
+	f := mkFlow(1, 0, 2, nw)
+	r.OnAck(f, transport.AckEvent{Path: 2, NewlyAcked: 1000})
+	if got := r.SelectPath(f); got != 2 {
+		t.Fatalf("SelectPath = %d, want recycled entropy 2", got)
+	}
+	if r.RecycledSprays != 1 || r.FreshSprays != 0 {
+		t.Fatalf("recycled=%d fresh=%d, want 1/0", r.RecycledSprays, r.FreshSprays)
+	}
+	recycled, _ := r.SprayCounts()
+	if recycled[2] != 1 {
+		t.Fatal("per-path recycled counter not bumped")
+	}
+}
+
+func TestRepsFreshRoundRobinWhenEmpty(t *testing.T) {
+	_, nw := testNet(t, 2, 4, 2)
+	r := NewReps(nw, 0)
+	f := mkFlow(1, 0, 2, nw)
+	seen := make(map[int]int)
+	for i := 0; i < 8; i++ {
+		seen[r.SelectPath(f)]++
+	}
+	if r.FreshSprays != 8 || r.RecycledSprays != 0 {
+		t.Fatalf("fresh=%d recycled=%d, want 8/0", r.FreshSprays, r.RecycledSprays)
+	}
+	for p := 0; p < 4; p++ {
+		if seen[p] != 2 {
+			t.Fatalf("path %d sprayed %d/8 times; fresh fallback must round-robin", p, seen[p])
+		}
+	}
+}
+
+func TestRepsEvictsOnCongestionAndLoss(t *testing.T) {
+	_, nw := testNet(t, 2, 4, 2)
+	r := NewReps(nw, 0)
+	f := mkFlow(1, 0, 2, nw)
+
+	r.OnAck(f, transport.AckEvent{Path: 1, NewlyAcked: 1000})
+	r.OnAck(f, transport.AckEvent{Path: 1, ECE: true}) // ECN echo purges path 1
+	if r.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1 after ECE", r.Evictions)
+	}
+	r.OnAck(f, transport.AckEvent{Path: 3, NewlyAcked: 1000})
+	r.OnTimeout(f, 3) // RTO purges path 3
+	if r.Evictions != 2 {
+		t.Fatalf("evictions = %d, want 2 after RTO", r.Evictions)
+	}
+	r.OnAck(f, transport.AckEvent{Path: 0, NewlyAcked: 1000})
+	r.OnRetransmit(f, 0) // fast retransmit purges path 0
+	if r.Evictions != 3 {
+		t.Fatalf("evictions = %d, want 3 after fast retransmit", r.Evictions)
+	}
+	if r.CachedEntropies() != 0 {
+		t.Fatalf("%d stale entropies survive eviction", r.CachedEntropies())
+	}
+	// Dup ACKs must not recycle: the delivery they signal is out of order.
+	r.OnAck(f, transport.AckEvent{Path: 2, Dup: true})
+	if r.CachedEntropies() != 0 {
+		t.Fatal("dup ACK recycled an entropy")
+	}
+}
+
+func TestRepsSkipsWithdrawnPaths(t *testing.T) {
+	_, nw := testNet(t, 2, 4, 2)
+	r := NewReps(nw, 0)
+	f := mkFlow(1, 0, 2, nw)
+	r.OnAck(f, transport.AckEvent{Path: 2, NewlyAcked: 1000})
+	nw.SetFabricLink(0, 2, 0) // routing withdraws spine 2
+	p := r.SelectPath(f)
+	if p == 2 {
+		t.Fatal("recycled an entropy onto a withdrawn path")
+	}
+	if r.StaleSkips != 1 || r.FreshSprays != 1 {
+		t.Fatalf("staleSkips=%d fresh=%d, want 1/1", r.StaleSkips, r.FreshSprays)
+	}
+}
+
+// FuzzEntropyCache drives the ring buffer against a plain-slice model.
+// Invariants: Len never exceeds Cap, Pop yields exactly the model's FIFO
+// order (with oldest-overwrite on full Put), and Evict removes precisely the
+// model's matching entries while preserving survivor order.
+func FuzzEntropyCache(f *testing.F) {
+	f.Add(3, []byte{0, 1, 0, 2, 1, 0, 3, 2, 1})
+	f.Add(1, []byte{0, 0, 0, 1, 1})
+	f.Add(8, []byte{0, 5, 0, 5, 2, 5, 1, 0, 5, 2, 5, 1, 1})
+	f.Fuzz(func(t *testing.T, capacity int, ops []byte) {
+		if capacity < 0 || capacity > 64 {
+			return
+		}
+		c := NewEntropyCache(capacity)
+		bound := c.Cap()
+		var model []int
+		for i := 0; i+1 < len(ops); i += 2 {
+			op, arg := ops[i]%3, int(ops[i+1]%8)
+			switch op {
+			case 0: // Put
+				c.Put(arg)
+				model = append(model, arg)
+				if len(model) > bound {
+					model = model[1:] // oldest overwritten
+				}
+			case 1: // Pop
+				got, ok := c.Pop()
+				if ok != (len(model) > 0) {
+					t.Fatalf("Pop ok=%v with model len %d", ok, len(model))
+				}
+				if ok {
+					if got != model[0] {
+						t.Fatalf("Pop = %d, model head %d", got, model[0])
+					}
+					model = model[1:]
+				}
+			case 2: // Evict
+				removed := c.Evict(arg)
+				kept := model[:0]
+				want := 0
+				for _, v := range model {
+					if v == arg {
+						want++
+					} else {
+						kept = append(kept, v)
+					}
+				}
+				model = kept
+				if removed != want {
+					t.Fatalf("Evict(%d) removed %d, model says %d", arg, removed, want)
+				}
+			}
+			if c.Len() != len(model) {
+				t.Fatalf("Len = %d, model %d", c.Len(), len(model))
+			}
+			if c.Len() > bound {
+				t.Fatalf("Len %d exceeds bound %d", c.Len(), bound)
+			}
+		}
+		// Drain: remaining contents must equal the model exactly.
+		for _, want := range model {
+			got, ok := c.Pop()
+			if !ok || got != want {
+				t.Fatalf("drain Pop = %d,%v, want %d", got, ok, want)
+			}
+		}
+		if _, ok := c.Pop(); ok {
+			t.Fatal("cache not empty after drain")
+		}
+	})
+}

@@ -28,6 +28,12 @@ type Transport struct {
 	Retransmits uint64
 	Timeouts    uint64
 
+	// RepFlow accounting (see repflow.go); zero unless StartRepFlow is used.
+	RepFlowsStarted uint64 // replicated logical flows opened
+	ReplicaWins     uint64 // races won by the replica copy
+	FlowsCancelled  uint64 // losing copies aborted by CancelFlow
+	RedundantBytes  uint64 // payload bytes the losing copies had sent
+
 	// Telemetry instruments; nil (free) unless AttachTelemetry was called.
 	telemFlowsStarted *telemetry.Counter
 	telemFlowsDone    *telemetry.Counter

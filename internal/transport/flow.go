@@ -76,10 +76,15 @@ type Flow struct {
 	// PathChanges counts reroutes, for reporting.
 	PathChanges int
 	// Hidden excludes the flow from Transport.OnFlowDone reporting (MPTCP
-	// subflows report through their group instead).
+	// subflows and RepFlow copies report through their group instead).
 	Hidden bool
+	// Cancelled is set by Transport.CancelFlow: the flow was aborted (e.g.
+	// the losing copy of a RepFlow race) rather than completed; Done is also
+	// set, and EndAt records the cancellation instant.
+	Cancelled bool
 
 	group   *MPTCPGroup
+	rep     *RepFlowGroup
 	started bool
 
 	// Sliding window state.

@@ -10,6 +10,17 @@ import "github.com/hermes-repro/hermes/internal/sim"
 // congestion mismatch, matching §7's observation — while data is pulled
 // dynamically: fast subflows fetch more chunks, slow ones fetch fewer,
 // approximating MPTCP's coupled scheduler without modeling LIA coupling.
+//
+// "Never rerouted" is load-bearing and pinned by test: a subflow chooses its
+// path once, at its first segment, and keeps it for its whole life — through
+// RTOs, fast retransmits and even link failures (f.PathChanges stays 0 under
+// the stock ECMP wiring). Resilience comes only from the pull scheduler
+// starving a stalled subflow of further chunks, never from moving it; a
+// subflow whose path blackholes strands whatever chunks it already pulled.
+// Only subflows opened after a topology change observe the updated path set.
+// This is what makes the RepFlow-vs-MPTCP comparison honest: RepFlow escapes
+// a dead path by racing an independently-hashed copy and cancelling the
+// loser, while MPTCP must ride its pinned subflows to the end.
 
 // MPTCPChunk is the pull granularity of the shared send buffer.
 const MPTCPChunk = 64 * 1024

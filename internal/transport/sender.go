@@ -278,6 +278,9 @@ func (f *Flow) finish(now sim.Time) {
 	if f.group != nil {
 		f.group.childDone(f, now)
 	}
+	if f.rep != nil {
+		f.rep.childDone(f, now)
+	}
 }
 
 func (ep *Endpoint) onAck(pkt *net.Packet) {

@@ -33,7 +33,10 @@ func TestParallelMatchesSequential(t *testing.T) {
 	if testing.Short() {
 		seeds = Seeds(1, 2)
 	}
-	for _, scheme := range []Scheme{SchemeECMP, SchemeLetFlow, SchemeHermes} {
+	// REPS and RepFlow ride along: REPS' fresh-entropy fallback is a plain
+	// round-robin counter and RepFlow's race resolution is pure event order,
+	// so both must serialize byte-identically regardless of worker count.
+	for _, scheme := range []Scheme{SchemeECMP, SchemeLetFlow, SchemeHermes, SchemeREPS, SchemeRepFlow} {
 		scheme := scheme
 		t.Run(string(scheme), func(t *testing.T) {
 			t.Parallel()
@@ -116,6 +119,42 @@ func TestChecksCleanUnderFailures(t *testing.T) {
 			cfg.Checks = true
 			if _, err := Run(cfg); err != nil {
 				t.Fatalf("invariant harness tripped: %v", err)
+			}
+		})
+	}
+}
+
+// TestChecksCleanWithReplication points the same invariant harness at
+// RepFlow: a cancelled loser's in-flight packets must drain through the
+// ledger as ordinary deliveries (or accounted failure drops) — never as
+// losses — and the disarmed RTO timer must not resurrect sender state. Both
+// a silent blackhole and a random-dropping spine race cancellations against
+// in-flight traffic.
+func TestChecksCleanWithReplication(t *testing.T) {
+	for _, f := range []FailureSpec{
+		{Kind: FailureNone},
+		{Kind: FailureBlackhole, Spine: 0},
+		{Kind: FailureRandomDrop, Spine: 0, DropRate: 0.05},
+	} {
+		f := f
+		name := string(f.Kind)
+		if name == "" {
+			name = "none"
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg := goldenConfig()
+			cfg.Scheme = SchemeRepFlow
+			cfg.Telemetry = false
+			cfg.TelemetryIntervalNs = 0
+			cfg.Failure = f
+			cfg.Checks = true
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("invariant harness tripped: %v", err)
+			}
+			if res.ReplicatedFlows == 0 {
+				t.Fatal("no flows replicated; the ledger was not exercised")
 			}
 		})
 	}

@@ -7,6 +7,7 @@ package hermes
 import (
 	"testing"
 
+	"github.com/hermes-repro/hermes/internal/failure"
 	"github.com/hermes-repro/hermes/internal/lb"
 	"github.com/hermes-repro/hermes/internal/net"
 	"github.com/hermes-repro/hermes/internal/sim"
@@ -149,5 +150,111 @@ func TestPhenomenonFlowletPassivity(t *testing.T) {
 	// lose to flowlet passivity by any meaningful margin.
 	if hermesMs > conga*1.3 {
 		t.Fatalf("Hermes large flows %.2f ms vs CONGA %.2f ms; timely rerouting regressed", hermesMs, conga)
+	}
+}
+
+// REPS' defining phenomenon: the recycled-entropy cache is a self-steering
+// spray. A blackholed spine stops returning ACKs, so its entropies stop
+// re-entering the cache (and ECN/retransmit/RTO actively evict them); within
+// an RTT-scale window the recycled spray distribution abandons the dead spine
+// with no path-state machine and no probes.
+func TestPhenomenonRepsRecyclesAwayFromBlackhole(t *testing.T) {
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(1)
+	nw, err := net.NewLeafSpine(eng, rng, net.Config{
+		Leaves: 2, Spines: 2, HostsPerLeaf: 2,
+		HostRateBps: 10e9, FabricRateBps: 10e9,
+		HostDelay: 2000, FabricDelay: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byHost := map[int]*lb.Reps{}
+	tr := transport.New(nw, transport.DefaultOptions(), func(h *net.Host) transport.Balancer {
+		r := lb.NewReps(nw, 0)
+		byHost[h.ID] = r
+		return r
+	})
+	sender := byHost[0]
+	tr.StartFlow(0, 2, 1_000_000_000) // persistent; outlives the test window
+
+	// Healthy warmup: both spines must be recycling.
+	eng.Run(10 * sim.Millisecond)
+	pre, _ := sender.SprayCounts()
+	for p, n := range pre {
+		if n == 0 {
+			t.Fatalf("path %d recycled nothing during healthy warmup", p)
+		}
+	}
+
+	// Spine 0 dies silently: links stay up, routing unchanged, no signal
+	// except the missing ACKs.
+	(&failure.Blackhole{
+		Spine: nw.Spines[0],
+		Match: func(src, dst int) bool { return true },
+	}).Install()
+
+	// Settle for a few RTTs — long enough for in-flight ACKs from the dead
+	// spine to drain and the ~32-entry cache to turn over.
+	rtt := nw.ApproxBaseRTT()
+	eng.Run(eng.Now() + 5*rtt)
+	start, _ := sender.SprayCounts()
+	eng.Run(eng.Now() + 10*sim.Millisecond)
+	end, _ := sender.SprayCounts()
+
+	var dead, total uint64
+	for p := range end {
+		d := end[p] - start[p]
+		total += d
+		if nw.PathSpine(p) == 0 {
+			dead += d
+		}
+	}
+	if total == 0 {
+		t.Fatal("no recycled sprays in the post-onset window; flow stalled")
+	}
+	if share := float64(dead) / float64(total); share > 0.01 {
+		t.Fatalf("dead spine still drew %.2f%% of recycled sprays (%d/%d) after onset; cache did not self-steer",
+			share*100, dead, total)
+	}
+}
+
+// RepFlow's defining phenomenon: under a silently random-dropping spine, a
+// short flow's clone on an independently hashed path rescues the tail —
+// short-flow p99 beats single-path ECMP — while the redundancy bill is
+// bounded (each loser sent at most one short flow's worth of bytes, and
+// flows at or above the threshold are never replicated).
+func TestPhenomenonRepFlowRescuesShortFlowTail(t *testing.T) {
+	run := func(scheme Scheme) *Result {
+		return mustRun(t, Config{
+			Topology: Topology{
+				Leaves: 2, Spines: 2, HostsPerLeaf: 4,
+				HostRateBps: 10e9, FabricRateBps: 10e9,
+				HostDelayNs: 2000, FabricDelayNs: 2000,
+			},
+			Scheme: scheme, Workload: "web-search",
+			Load: 0.3, Flows: flowCount(300, 120), Seed: 7,
+			Failure: FailureSpec{Kind: FailureRandomDrop, Spine: 0, DropRate: 0.04},
+		})
+	}
+	ecmp := run(SchemeECMP)
+	rep := run(SchemeRepFlow)
+
+	if rep.ReplicatedFlows == 0 || rep.ReplicaWins == 0 {
+		t.Fatalf("replication idle: %d replicated, %d replica wins",
+			rep.ReplicatedFlows, rep.ReplicaWins)
+	}
+	// Tail rescue: losing the race against a drop-free clone must beat
+	// serving an RTO on the only path.
+	if rep.FCT.Small.P99 >= ecmp.FCT.Small.P99 {
+		t.Fatalf("short-flow p99: repflow %.3f ms !< ecmp %.3f ms; replication did not rescue the tail",
+			rep.FCT.Small.P99Ms(), ecmp.FCT.Small.P99Ms())
+	}
+	// Bounded overhead: every cancelled loser was a short flow, so the
+	// redundant bytes cannot exceed one threshold's worth per replicated
+	// flow (<= 2x goodput on short flows, zero on everything else).
+	if rep.RedundantBytes >= rep.ReplicatedFlows*transport.DefaultRepFlowThreshold {
+		t.Fatalf("redundant bytes %d >= %d replicated flows x %d threshold; overhead not confined to short flows",
+			rep.RedundantBytes, rep.ReplicatedFlows, transport.DefaultRepFlowThreshold)
 	}
 }

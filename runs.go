@@ -297,9 +297,9 @@ type ChaosCell struct {
 
 	// Runs is the seed count; DetectedRuns/ReroutedRuns count seeds where at
 	// least one activation was detected/rerouted around.
-	Runs          int `json:"runs"`
-	DetectedRuns  int `json:"detected_runs"`
-	ReroutedRuns  int `json:"rerouted_runs"`
+	Runs         int `json:"runs"`
+	DetectedRuns int `json:"detected_runs"`
+	ReroutedRuns int `json:"rerouted_runs"`
 	// MeanDetectMs/MeanRerouteMs average the per-run fastest finite
 	// detection/reroute latency over the runs that have one (-1 = none did).
 	MeanDetectMs  float64 `json:"mean_detect_ms"`

@@ -91,8 +91,20 @@ func buildScheme(nw *net.Network, rng *sim.RNG, cfg Config, rd *telemetry.RunDat
 		w.balancerFor = passThrough("CONGA")
 
 	case SchemeMPTCP:
-		// MPTCP subflows are hashed like ECMP flows and never rerouted; the
+		// MPTCP subflows are hashed like ECMP flows and, like any ECMP flow,
+		// pick their path once and are never rerouted — not even when the
+		// path fails mid-flow (pinned by TestMPTCPSubflowsNeverRerouted); the
 		// multipath behaviour lives in the transport (StartMPTCP).
+		e := &lb.ECMP{Net: nw}
+		w.balancerFor = func(*net.Host) transport.Balancer { return e }
+
+	case SchemeREPS:
+		return buildReps(nw, rd, flight), nil
+
+	case SchemeRepFlow:
+		// Path selection is plain ECMP; the replication machinery lives in
+		// the transport (StartRepFlow, installed by Run's generator hook)
+		// and its observability in attachRepFlowObservability.
 		e := &lb.ECMP{Net: nw}
 		w.balancerFor = func(*net.Host) transport.Balancer { return e }
 
@@ -107,6 +119,99 @@ func buildScheme(nw *net.Network, rng *sim.RNG, cfg Config, rd *telemetry.RunDat
 
 func passThrough(name string) func(*net.Host) transport.Balancer {
 	return func(*net.Host) transport.Balancer { return &lb.PassThrough{Scheme: name} }
+}
+
+// buildReps wires one REPS balancer per host and, when observability is on,
+// registers the recycled-vs-fresh spray gauges and flight series. All gauges
+// sum integer counters over a host-ordered slice (transport.New calls
+// balancerFor in nw.Hosts order), so sampling is deterministic. Registration
+// is gated on the scheme, keeping every other scheme's report byte-stable.
+func buildReps(nw *net.Network, rd *telemetry.RunData,
+	flight *timeseries.Recorder) *wiring {
+	var instances []*lb.Reps
+	w := &wiring{afterTransport: noAfter}
+	w.balancerFor = func(h *net.Host) transport.Balancer {
+		r := lb.NewReps(nw, 0)
+		instances = append(instances, r)
+		return r
+	}
+
+	sumOver := func(pick func(*lb.Reps) uint64) func() float64 {
+		return func() float64 {
+			var n uint64
+			for _, r := range instances {
+				n += pick(r)
+			}
+			return float64(n)
+		}
+	}
+	recycled := sumOver(func(r *lb.Reps) uint64 { return r.RecycledSprays })
+	fresh := sumOver(func(r *lb.Reps) uint64 { return r.FreshSprays })
+	evictions := sumOver(func(r *lb.Reps) uint64 { return r.Evictions })
+	cached := func() float64 {
+		var n int
+		for _, r := range instances {
+			n += r.CachedEntropies()
+		}
+		return float64(n)
+	}
+	hitRate := func() float64 {
+		rec, fr := recycled(), fresh()
+		if rec+fr == 0 {
+			return 0
+		}
+		return rec / (rec + fr)
+	}
+	if rd != nil {
+		rd.Registry.GaugeFunc("reps.recycled_sprays_total", recycled)
+		rd.Registry.GaugeFunc("reps.fresh_sprays_total", fresh)
+		rd.Registry.GaugeFunc("reps.evictions_total", evictions)
+		rd.Registry.GaugeFunc("reps.cached_entropies", cached)
+		rd.Registry.GaugeFunc("reps.cache_hit_rate", hitRate)
+	}
+	if flight != nil {
+		flight.Register("reps.recycled_sprays_total", recycled)
+		flight.Register("reps.fresh_sprays_total", fresh)
+		flight.Register("reps.evictions_total", evictions)
+		flight.Register("reps.cached_entropies", cached)
+	}
+
+	w.fillTelemetry = func(res *Result, eng *sim.Engine) {
+		for _, r := range instances {
+			res.RecycledSprays += r.RecycledSprays
+			res.FreshSprays += r.FreshSprays
+			res.EntropyEvictions += r.Evictions
+		}
+	}
+	return w
+}
+
+// attachRepFlowObservability registers the transport's replication counters
+// on the telemetry registry and flight recorder. Called by Run only for
+// SchemeRepFlow, after the transport exists, so no other scheme's report
+// gains these keys.
+func attachRepFlowObservability(tr *transport.Transport, rd *telemetry.RunData,
+	flight *timeseries.Recorder) {
+	if rd != nil {
+		rd.Registry.GaugeFunc("repflow.replicated_total",
+			func() float64 { return float64(tr.RepFlowsStarted) })
+		rd.Registry.GaugeFunc("repflow.replica_wins_total",
+			func() float64 { return float64(tr.ReplicaWins) })
+		rd.Registry.GaugeFunc("repflow.cancelled_total",
+			func() float64 { return float64(tr.FlowsCancelled) })
+		rd.Registry.GaugeFunc("repflow.redundant_bytes_total",
+			func() float64 { return float64(tr.RedundantBytes) })
+	}
+	if flight != nil {
+		flight.Register("repflow.replicated_total",
+			func() float64 { return float64(tr.RepFlowsStarted) })
+		flight.Register("repflow.replica_wins_total",
+			func() float64 { return float64(tr.ReplicaWins) })
+		flight.Register("repflow.cancelled_total",
+			func() float64 { return float64(tr.FlowsCancelled) })
+		flight.Register("repflow.redundant_bytes_total",
+			func() float64 { return float64(tr.RedundantBytes) })
+	}
 }
 
 func buildHermes(nw *net.Network, rng *sim.RNG, cfg Config, rd *telemetry.RunData,
