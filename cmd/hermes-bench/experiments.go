@@ -32,6 +32,7 @@ func simTopo(o options) hermes.Topology {
 // Sweeps run data points concurrently, hence the sequence-number mutex.
 var (
 	telemetryOn   bool
+	perfRunsOn    bool
 	reportDir     string
 	auditDir      string
 	traceDir      string
@@ -43,6 +44,10 @@ var (
 func mustRun(cfg hermes.Config) *hermes.Result {
 	if telemetryOn {
 		cfg.Telemetry = true
+	}
+	if perfRunsOn && cfg.Perf == nil {
+		// Reports go to the process-default observatory (set in main).
+		cfg.Perf = &hermes.PerfOptions{}
 	}
 	if traceDir != "" {
 		// Per-run in-memory recorder (Result.Trace): safe even when a sweep

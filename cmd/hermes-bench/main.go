@@ -19,12 +19,12 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
-	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
 
 	"github.com/hermes-repro/hermes"
+	"github.com/hermes-repro/hermes/internal/perf"
 	"github.com/hermes-repro/hermes/internal/textplot"
 )
 
@@ -130,6 +130,13 @@ func main() {
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 
+		perfBench  = flag.Bool("perf", false, "run the pinned microbenchmarks, append results to the perf ledger, then exit")
+		perfCount  = flag.Int("perf-count", 5, "repetitions per pinned benchmark in -perf mode")
+		perfLedger = flag.String("perf-ledger", "BENCH_perf.json", "perf ledger file read and appended by -perf")
+		perfBase   = flag.Bool("perf-baseline", false, "in -perf mode, compare new measurements against the latest ledger entries")
+		perfNote   = flag.String("perf-note", "", "free-form note stamped on ledger entries written by -perf")
+		perfRuns   = flag.Bool("perf-runs", false, "profile every experiment run and print the perf observatory aggregate at exit")
+
 		statusAddr  = flag.String("status", "", `serve the live status plane on this address while experiments run (e.g. ":8080"; see /api/progress, /metrics)`)
 		progress    = flag.Bool("progress", false, "print a progress line (runs done, ETA) to stderr every few seconds")
 		progressSec = flag.Int("progress-interval", 5, "seconds between -progress lines")
@@ -139,6 +146,16 @@ func main() {
 	if *version {
 		fmt.Println(hermes.VersionString())
 		return
+	}
+	if *perfBench {
+		runPerfLedger(*perfLedger, *perfCount, *perfNote, *perfBase)
+		return
+	}
+	if *perfRuns {
+		perfRunsOn = true
+		obs := hermes.NewPerfObservatory()
+		hermes.SetDefaultPerfObservatory(obs)
+		defer printPerfAggregate(obs)
 	}
 	plotTables = *plot
 	hermes.SetDefaultWorkers(*workers)
@@ -198,28 +215,19 @@ func main() {
 	}
 
 	if *cpuProf != "" {
-		f, err := os.Create(*cpuProf)
+		stop, err := perf.StartCPUProfile(*cpuProf)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			log.Fatal(err)
-		}
-		defer pprof.StopCPUProfile()
+		defer stop()
 	}
 	defer func() {
 		if *memProf == "" {
 			return
 		}
-		f, err := os.Create(*memProf)
-		if err != nil {
+		if err := perf.WriteHeapProfile(*memProf); err != nil {
 			log.Fatal(err)
 		}
-		runtime.GC() // materialize the final live set
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			log.Fatal(err)
-		}
-		f.Close()
 	}()
 
 	o := options{flows: *flows, seed: *seed, full: *full}

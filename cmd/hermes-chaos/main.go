@@ -25,6 +25,7 @@ import (
 	"time"
 
 	hermes "github.com/hermes-repro/hermes"
+	"github.com/hermes-repro/hermes/internal/perf"
 )
 
 func main() {
@@ -46,6 +47,10 @@ func main() {
 		statusAddr    = flag.String("status", "", `serve the live status plane on this address while the matrix runs (e.g. ":8080"; see /api/progress, /metrics, /api/series/stream)`)
 		progress      = flag.Bool("progress", false, "print a progress line (runs done, ETA) to stderr every few seconds")
 		progressSec   = flag.Int("progress-interval", 5, "seconds between -progress lines")
+		perfOn        = flag.Bool("perf", false, "profile every matrix run and print the perf observatory aggregate to stderr")
+		perfSample    = flag.Int("perf-sample", 0, "wall-time attribution stride: time 1 in N event fires (0 = 64 default)")
+		cpuProfile    = flag.String("cpuprofile", "", "write a pprof CPU profile of the matrix to this file")
+		memProfile    = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 		version       = flag.Bool("version", false, "print build version and VCS revision, then exit")
 	)
 	flag.Parse()
@@ -53,6 +58,21 @@ func main() {
 	if *version {
 		fmt.Println(hermes.VersionString())
 		return
+	}
+
+	if *cpuProfile != "" {
+		stop, err := perf.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := perf.WriteHeapProfile(*memProfile); err != nil {
+				log.Print(err)
+			}
+		}()
 	}
 
 	if *listFlag {
@@ -119,6 +139,22 @@ func main() {
 		Scenarios: scenarios,
 		Seeds:     hermes.Seeds(*seedBase, *seedCount),
 		Options:   hermes.ParallelOptions{Workers: *workers},
+	}
+
+	var obs *hermes.PerfObservatory
+	if *perfOn {
+		obs = hermes.NewPerfObservatory()
+		mc.Base.Perf = &hermes.PerfOptions{SampleEvery: *perfSample, Observatory: obs}
+		defer func() {
+			s := obs.Summary()
+			if s.RunsProfiled == 0 {
+				return
+			}
+			fmt.Fprintf(os.Stderr,
+				"perf: %d runs profiled, %d events (queue peak %d), sim/wall %.2fx, peak heap %.1f MiB, GC cycles %d\n",
+				s.RunsProfiled, s.EventsTotal, s.QueuePeak, s.SimPerWall,
+				float64(s.PeakHeapBytes)/(1<<20), s.Runtime.GCCycles)
+		}()
 	}
 
 	var st *hermes.Status

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	hermes "github.com/hermes-repro/hermes"
+	"github.com/hermes-repro/hermes/internal/perf"
 )
 
 func main() {
@@ -63,9 +64,28 @@ func main() {
 		checks       = flag.Bool("checks", false, "arm the simulation invariant harness (engine + packet-conservation checks)")
 		configFile   = flag.String("config", "", "load the full experiment Config from a JSON file (overrides other flags)")
 		statusAddr   = flag.String("status", "", `serve the live status plane on this address while the run executes (e.g. ":8080"; see /api/progress, /metrics)`)
+		perfOn       = flag.Bool("perf", false, "enable the performance observatory: engine self-profiling + runtime sampling, printed as a perf block")
+		perfSample   = flag.Int("perf-sample", 0, "wall-time attribution stride: time 1 in N event fires (0 = 64 default)")
+		cpuProfile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile   = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 		version      = flag.Bool("version", false, "print build version and VCS revision, then exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		stop, err := perf.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := perf.WriteHeapProfile(*memProfile); err != nil {
+				log.Print(err)
+			}
+		}()
+	}
 
 	if *version {
 		fmt.Println(hermes.VersionString())
@@ -171,6 +191,9 @@ func main() {
 	cfg.Telemetry = *telem
 	cfg.TelemetryIntervalNs = *sweepUs * 1000
 	cfg.Checks = *checks
+	if *perfOn {
+		cfg.Perf = &hermes.PerfOptions{SampleEvery: *perfSample}
+	}
 
 	var tsW, tsCSVW *os.File
 	if *tsFile != "" {
@@ -225,6 +248,9 @@ func main() {
 			if fileCfg.TelemetryIntervalNs == 0 {
 				fileCfg.TelemetryIntervalNs = cfg.TelemetryIntervalNs
 			}
+		}
+		if fileCfg.Perf == nil {
+			fileCfg.Perf = cfg.Perf
 		}
 		cfg = fileCfg
 	}
@@ -361,6 +387,9 @@ func main() {
 				e.DipDepth, ms(e.DipDurationNs), e.DipIntegralGbpsMs,
 				ms(e.ReconvergeNs), ms(e.PathRestoreNs))
 		}
+	}
+	if res.Perf != nil {
+		res.Perf.RenderText(os.Stdout)
 	}
 	if report != nil {
 		fmt.Println()

@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	hermes "github.com/hermes-repro/hermes"
+	"github.com/hermes-repro/hermes/internal/perf"
 	"github.com/hermes-repro/hermes/internal/textplot"
 	"github.com/hermes-repro/hermes/internal/trace"
 )
@@ -36,13 +37,38 @@ func main() {
 		perfetto    = flag.String("perfetto", "", "also convert the trace to Chrome trace-event JSON at this path")
 		compareFile = flag.String("compare", "", "second trace: print a side-by-side attribution comparison instead of a full analysis")
 		tsFile      = flag.String("timeline", "", "flight-recorder time series (.jsonl or .csv, from hermes-sim -timeseries): render sparklines, queue heatmap and path-state timelines")
+		ledgerFile  = flag.String("perf-ledger", "", "perf ledger JSON (from hermes-bench -perf): render each benchmark's ns/op trajectory")
 		width       = flag.Int("width", 64, "chart width in cells")
+		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the analysis to this file")
+		memProfile  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 		version     = flag.Bool("version", false, "print build version and VCS revision, then exit")
 	)
 	flag.Parse()
 	if *version {
 		fmt.Println(hermes.VersionString())
 		return
+	}
+	if *cpuProfile != "" {
+		stop, err := perf.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := perf.WriteHeapProfile(*memProfile); err != nil {
+				log.Print(err)
+			}
+		}()
+	}
+	if *ledgerFile != "" {
+		if err := renderPerfLedger(os.Stdout, *ledgerFile, *width); err != nil {
+			log.Fatal(err)
+		}
+		if flag.NArg() == 0 && *tsFile == "" {
+			return
+		}
 	}
 	if *tsFile != "" {
 		if err := timeline(os.Stdout, loadTimeseries(*tsFile), *width); err != nil {
@@ -302,6 +328,60 @@ func compare(w io.Writer, nameA string, a *trace.Recorder, nameB string, b *trac
 	fmt.Fprintf(w, "tail unfinished %9d %24d\n", ta.Unfinished, tb.Unfinished)
 	if tb.StallShare > 0 {
 		fmt.Fprintf(w, "stall-share ratio (%s/%s): %.1fx\n", labelA, labelB, ta.StallShare/tb.StallShare)
+	}
+	return nil
+}
+
+// renderPerfLedger prints each pinned benchmark's ns/op trajectory from the
+// perf ledger: a sparkline over entries (oldest left), the entry history,
+// and — when at least two entries exist — the latest-vs-previous verdict
+// from the same comparator CI uses.
+func renderPerfLedger(w io.Writer, path string, width int) error {
+	ledger, err := perf.LoadLedger(path)
+	if err != nil {
+		return err
+	}
+	if len(ledger.Entries) == 0 {
+		fmt.Fprintf(w, "perf ledger %s is empty (seed it with hermes-bench -perf)\n", path)
+		return nil
+	}
+	fmt.Fprintf(w, "perf ledger %s: %d entries\n", path, len(ledger.Entries))
+	for _, name := range ledger.Names() {
+		var history []perf.LedgerEntry
+		for _, e := range ledger.Entries {
+			if e.Name == name {
+				history = append(history, e)
+			}
+		}
+		fmt.Fprintf(w, "\n%s (%d measurements)\n", name, len(history))
+		ns := make([]float64, len(history))
+		for i, e := range history {
+			ns[i] = e.NsOp
+		}
+		if err := textplot.Sparkline(w, "  ns/op", ns, width); err != nil {
+			return err
+		}
+		for _, e := range history {
+			rev := e.Fingerprint.Revision
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			if rev == "" {
+				rev = "unknown"
+			}
+			line := fmt.Sprintf("  %s  %8.0f ns/op %6d B/op %4d allocs/op  rev %s", e.Date, e.NsOp, e.BOp, e.AllocsOp, rev)
+			if e.Fingerprint.Dirty {
+				line += "+dirty"
+			}
+			if e.Note != "" {
+				line += "  (" + e.Note + ")"
+			}
+			fmt.Fprintln(w, line)
+		}
+		if len(history) >= 2 {
+			c := perf.CompareEntries(history[len(history)-2], history[len(history)-1])
+			fmt.Fprintf(w, "  latest vs previous: %s\n", c.String())
+		}
 	}
 	return nil
 }

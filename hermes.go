@@ -22,12 +22,14 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"github.com/hermes-repro/hermes/internal/chaos"
 	"github.com/hermes-repro/hermes/internal/core"
 	"github.com/hermes-repro/hermes/internal/failure"
 	"github.com/hermes-repro/hermes/internal/metrics"
 	"github.com/hermes-repro/hermes/internal/net"
+	"github.com/hermes-repro/hermes/internal/perf"
 	"github.com/hermes-repro/hermes/internal/sim"
 	"github.com/hermes-repro/hermes/internal/statusd"
 	"github.com/hermes-repro/hermes/internal/telemetry"
@@ -323,6 +325,19 @@ type Config struct {
 	// falls back to the SetDefaultStatus process default, else disabled.
 	Status *Status `json:"-"`
 
+	// Perf, when non-nil, enables the performance observatory for this run:
+	// the engine self-profiles event fires by kind (wall-time attribution
+	// sampled 1-in-SampleEvery), a wall-clock sampler watches the Go runtime
+	// (heap, GC, goroutines, CPU), and the run's Result carries a Perf block.
+	// Like every observability layer it is off by default and costs one nil
+	// check per event when disabled; when enabled it never changes
+	// simulation behavior or report bytes — perf data is wall-clock and
+	// machine-dependent, so it lives only in Result.Perf, the observatory
+	// and the perf ledger, never in deterministic artifacts. Like Status,
+	// the field is excluded from serialized configs (and hence from report
+	// config hashes): profiling on vs off must not change artifact bytes.
+	Perf *PerfOptions `json:"-"`
+
 	// statusLabel names this run on the status plane. Set by the sweep
 	// helpers (scheme/scenario/seed); Run derives one when empty.
 	statusLabel string
@@ -409,6 +424,12 @@ type Result struct {
 	// time-to-reroute, goodput-dip depth/duration/integral, post-clear
 	// re-convergence — when Config.Scenario was set (nil otherwise).
 	Recovery *Recovery `json:",omitempty"`
+
+	// Perf is the run's performance-observatory block — events fired by
+	// kind, sim-vs-wall ratio, queue peak, peak heap, GC time share — when
+	// Config.Perf was set (nil otherwise). Wall-clock data: excluded from
+	// BuildReport and every deterministic artifact.
+	Perf *PerfReport `json:",omitempty"`
 }
 
 // Recovery and EventRecovery re-export the chaos engine's per-run resilience
@@ -498,6 +519,19 @@ func Run(cfg Config) (res *Result, err error) {
 	if cfg.Checks {
 		eng.EnableChecks()
 	}
+	// Perf observatory: engine self-profiling plus a wall-clock Go runtime
+	// sampler for the duration of the run. The deferred Stop is idempotent
+	// and covers every error return.
+	var prof *sim.Profile
+	var sampler *perf.RuntimeSampler
+	var perfWallStart time.Time
+	if cfg.Perf != nil {
+		prof = eng.EnableProfile(cfg.Perf.SampleEvery)
+		sampler = perf.StartRuntimeSampler(
+			time.Duration(cfg.Perf.RuntimeIntervalMs) * time.Millisecond)
+		defer sampler.Stop()
+		perfWallStart = time.Now()
+	}
 	rng := sim.NewRNG(cfg.Seed)
 	nw, err := net.NewLeafSpine(eng, rng, cfg.Topology.toNet())
 	if err != nil {
@@ -536,6 +570,13 @@ func Run(cfg Config) (res *Result, err error) {
 		nw.AttachFlightRecorder(flight)
 		// Expose the live recording on the status plane (/api/series).
 		st.AttachFlight(flight, runLabel)
+		if cfg.Perf != nil {
+			// Deterministic engine-health series (sim state sampled on the
+			// sim clock — identical across reruns, unlike the wall-clock
+			// runtime sampler, which never touches the recorder).
+			flight.Register("perf.engine.pending", func() float64 { return float64(eng.Pending()) })
+			flight.Register("perf.engine.fired", func() float64 { return float64(eng.Fired()) })
+		}
 	}
 
 	opts := transport.DefaultOptions()
@@ -886,6 +927,21 @@ func Run(cfg Config) (res *Result, err error) {
 		}
 		if tracer.Dropped > 0 {
 			res.TraceCounts["dropped"] = tracer.Dropped
+		}
+	}
+	if prof != nil {
+		stats := sampler.Stop()
+		res.Perf = perf.BuildRunReport(prof, int64(eng.Now()),
+			time.Since(perfWallStart).Nanoseconds(), stats)
+		obs := cfg.Perf.Observatory
+		if obs == nil {
+			obs = perf.Default()
+		}
+		if obs != nil {
+			obs.AddRun(res.Perf)
+			// Make the aggregate visible on the status plane (/api/perf,
+			// perf.* metrics family) when a tracker is watching.
+			st.AttachPerf(obs)
 		}
 	}
 	if sh != nil {

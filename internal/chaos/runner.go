@@ -56,7 +56,7 @@ func (r *Runner) Install(eng *sim.Engine) error {
 	r.fired = make([]bool, len(s.Events))
 	for i := range s.Events {
 		i := i
-		eng.At(s.Events[i].At, func() { r.fire(eng, i, 0) })
+		eng.AtKind(s.Events[i].At, sim.KindChaos, func() { r.fire(eng, i, 0) })
 	}
 	return nil
 }
@@ -87,12 +87,12 @@ func (r *Runner) fire(eng *sim.Engine, i, cycle int) {
 			r.OnEvent(rec, false)
 		}
 		if ev.Duration > 0 {
-			eng.Schedule(ev.Duration, func() { r.clear(ev.Name, eng.Now()) })
+			eng.ScheduleKind(ev.Duration, sim.KindChaos, func() { r.clear(ev.Name, eng.Now()) })
 		}
 	}
 
 	if ev.Every > 0 && (ev.Count == 0 || cycle+1 < ev.Count) {
-		eng.Schedule(ev.Every, func() { r.fire(eng, i, cycle+1) })
+		eng.ScheduleKind(ev.Every, sim.KindChaos, func() { r.fire(eng, i, cycle+1) })
 	}
 }
 

@@ -89,7 +89,7 @@ func NewMonitor(nw *net.Network, srcLeaf int, p Params) *Monitor {
 }
 
 func (m *Monitor) scheduleWindow() {
-	m.Net.Eng.Schedule(m.P.Tau, func() {
+	m.Net.Eng.ScheduleKind(m.P.Tau, sim.KindProbe, func() {
 		m.rollWindow()
 		m.scheduleWindow()
 	})

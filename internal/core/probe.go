@@ -59,7 +59,7 @@ func NewProber(mon *Monitor, rng *sim.RNG, agents []*net.Host) *Prober {
 	// reaching it resolves a pending measurement.
 	p.Agent.Handle(net.ProbeEcho, p.onEcho)
 	if p.interval > 0 {
-		mon.Net.Eng.Schedule(p.interval, p.tick)
+		mon.Net.Eng.ScheduleKind(p.interval, sim.KindProbe, p.tick)
 	}
 	return p
 }
@@ -102,7 +102,7 @@ func (p *Prober) tick() {
 			p.sendProbe(d, path, now)
 		}
 	}
-	p.Mon.Net.Eng.Schedule(p.interval, p.tick)
+	p.Mon.Net.Eng.ScheduleKind(p.interval, sim.KindProbe, p.tick)
 }
 
 // chooseProbeSet returns two random distinct paths plus the previously best
@@ -134,7 +134,7 @@ func (p *Prober) sendProbe(dstLeaf, path int, now sim.Time) {
 	id := p.nextID
 	dst := p.RemoteAgents[dstLeaf]
 	pp := &pendingProbe{dstLeaf: dstLeaf, path: path}
-	pp.timer = p.Mon.Net.Eng.Schedule(p.timeout, func() {
+	pp.timer = p.Mon.Net.Eng.ScheduleKind(p.timeout, sim.KindProbe, func() {
 		delete(p.pending, id)
 		p.ProbesLost++
 		p.Mon.OnProbeResult(dstLeaf, path, true, false, 0)

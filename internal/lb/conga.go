@@ -108,7 +108,7 @@ func stampCE(nw *net.Network, port *net.Port, levels int) func(*net.Packet) {
 }
 
 func (c *Conga) scheduleSweep() {
-	c.Net.Eng.Schedule(100*sim.Millisecond, func() {
+	c.Net.Eng.ScheduleKind(100*sim.Millisecond, sim.KindTimer, func() {
 		now := c.Net.Eng.Now()
 		for id, e := range c.flowlets {
 			if now-e.last > 10*c.Params.FlowletTimeout+10*sim.Millisecond {

@@ -84,7 +84,7 @@ func (h *Hula) refresh() {
 		}
 		h.bestPath[d] = best
 	}
-	h.Net.Eng.Schedule(h.Params.ProbeInterval, h.refresh)
+	h.Net.Eng.ScheduleKind(h.Params.ProbeInterval, sim.KindTimer, h.refresh)
 }
 
 // SelectUplink implements net.SwitchBalancer.

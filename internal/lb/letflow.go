@@ -31,7 +31,7 @@ func NewLetFlow(nw *net.Network, leaf int, rng *sim.RNG, timeout sim.Time) *LetF
 func (l *LetFlow) scheduleSweep() {
 	// Evict long-idle flowlet entries so the table does not grow without
 	// bound across a run.
-	l.sweep = l.Net.Eng.Schedule(100*sim.Millisecond, func() {
+	l.sweep = l.Net.Eng.ScheduleKind(100*sim.Millisecond, sim.KindTimer, func() {
 		now := l.Net.Eng.Now()
 		for id, e := range l.table {
 			if now-e.last > 10*l.Timeout+10*sim.Millisecond {

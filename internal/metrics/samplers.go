@@ -39,7 +39,7 @@ func (q *QueueSampler) tick() {
 		return
 	}
 	q.Samples = append(q.Samples, QueueSample{At: q.eng.Now(), Bytes: q.Port.QueuedBytes()})
-	q.eng.Schedule(q.Interval, q.tick)
+	q.eng.ScheduleKind(q.Interval, sim.KindSample, q.tick)
 }
 
 // MaxBytes returns the maximum sampled occupancy.
@@ -129,7 +129,7 @@ func (v *VisibilitySampler) tick() {
 		v.hostPair += float64(interLeaf) / float64(hostPairs*paths)
 	}
 	v.samples++
-	v.eng.Schedule(v.Interval, v.tick)
+	v.eng.ScheduleKind(v.Interval, sim.KindSample, v.tick)
 }
 
 // SwitchPair returns the average concurrent flows per parallel path visible

@@ -30,7 +30,7 @@ type ThroughputSampler struct {
 func (t *ThroughputSampler) Start(eng *sim.Engine) {
 	t.eng = eng
 	t.prev = t.Port.TxBytes
-	t.eng.Schedule(t.Interval, t.tick)
+	t.eng.ScheduleKind(t.Interval, sim.KindSample, t.tick)
 }
 
 // Stop ends sampling.
@@ -44,7 +44,7 @@ func (t *ThroughputSampler) tick() {
 	gbps := float64(cur-t.prev) * 8 / float64(t.Interval)
 	t.prev = cur
 	t.Samples = append(t.Samples, ThroughputSample{At: t.eng.Now(), Gbps: gbps})
-	t.eng.Schedule(t.Interval, t.tick)
+	t.eng.ScheduleKind(t.Interval, sim.KindSample, t.tick)
 }
 
 // MeanGbps returns the average sampled goodput.

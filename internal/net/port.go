@@ -292,7 +292,7 @@ func (p *Port) transmitNext() {
 	pkt.Hops++
 	// Pre-bound callbacks keep the two hottest scheduling sites in the whole
 	// simulator free of closure allocations.
-	p.eng.ScheduleCall(txTime, portTxDone, p, pkt)
+	p.eng.ScheduleCallKind(txTime, sim.KindPortTx, portTxDone, p, pkt)
 }
 
 // portTxDone fires when a packet's last bit leaves the transmitter: start
@@ -301,7 +301,7 @@ func portTxDone(a1, a2 any) {
 	p, pkt := a1.(*Port), a2.(*Packet)
 	p.TxBytes += uint64(pkt.Wire)
 	p.TxPackets++
-	p.eng.ScheduleCall(p.propDelay, portPropagated, p, pkt)
+	p.eng.ScheduleCallKind(p.propDelay, sim.KindPropagate, portPropagated, p, pkt)
 	p.transmitNext()
 }
 

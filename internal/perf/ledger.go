@@ -1,0 +1,246 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+)
+
+// Fingerprint identifies the machine and build a ledger entry was measured
+// on, so the comparator can flag cross-machine comparisons and a trajectory
+// stays interpretable years later.
+type Fingerprint struct {
+	GOOS      string
+	GOARCH    string
+	NumCPU    int
+	GoVersion string
+	Revision  string `json:",omitempty"` // VCS revision (telemetry.Manifest)
+	Dirty     bool   `json:",omitempty"` // VCS working tree had local edits
+}
+
+// HostFingerprint fills the machine half from the runtime; revision/dirty
+// come from the caller (telemetry.BuildManifest keeps perf free of a
+// telemetry import).
+func HostFingerprint(revision string, dirty bool) Fingerprint {
+	return Fingerprint{
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+		Revision:  revision,
+		Dirty:     dirty,
+	}
+}
+
+// LedgerEntry is one benchmark measurement appended to the perf ledger
+// (BENCH_perf.json). SamplesNsOp carries the per-repetition ns/op values so
+// later comparisons can run a significance test instead of eyeballing two
+// means.
+type LedgerEntry struct {
+	Name        string
+	Date        string // RFC3339 UTC
+	NsOp        float64
+	BOp         int64
+	AllocsOp    int64
+	N           int       // b.N of the final repetition
+	SamplesNsOp []float64 `json:",omitempty"`
+	Fingerprint Fingerprint
+	Note        string `json:",omitempty"`
+}
+
+// Ledger is the append-only benchmark trajectory. Entries are kept in
+// append order: the history of one benchmark is every entry with its name,
+// oldest first.
+type Ledger struct {
+	Entries []LedgerEntry
+}
+
+// LoadLedger reads a ledger file; a missing file is an empty ledger, not an
+// error, so the first -perf run bootstraps the trajectory.
+func LoadLedger(path string) (*Ledger, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Ledger{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var l Ledger
+	if err := json.Unmarshal(data, &l); err != nil {
+		return nil, fmt.Errorf("perf ledger %s: %w", path, err)
+	}
+	return &l, nil
+}
+
+// Append adds an entry to the trajectory.
+func (l *Ledger) Append(e LedgerEntry) { l.Entries = append(l.Entries, e) }
+
+// Save writes the ledger as indented JSON.
+func (l *Ledger) Save(path string) error {
+	data, err := json.MarshalIndent(l, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Latest returns the most recent entry for name, or nil.
+func (l *Ledger) Latest(name string) *LedgerEntry {
+	for i := len(l.Entries) - 1; i >= 0; i-- {
+		if l.Entries[i].Name == name {
+			return &l.Entries[i]
+		}
+	}
+	return nil
+}
+
+// Names returns the distinct benchmark names present, sorted.
+func (l *Ledger) Names() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, e := range l.Entries {
+		if !seen[e.Name] {
+			seen[e.Name] = true
+			out = append(out, e.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RegressionThresholdPct is the ns/op slowdown beyond which CI annotates a
+// warning (it never fails the build: shared runners are noisy).
+const RegressionThresholdPct = 10.0
+
+// Comparison is the verdict of comparing a new measurement against a
+// baseline entry of the same benchmark.
+type Comparison struct {
+	Name         string
+	OldNsOp      float64
+	NewNsOp      float64
+	DeltaPct     float64 // positive = slower
+	OldAllocsOp  int64
+	NewAllocsOp  int64
+	PValue       float64 // two-sided Mann-Whitney on SamplesNsOp; 1 when untestable
+	Significant  bool    // p < 0.05
+	Regression   bool    // slower than RegressionThresholdPct and significant (or untestable)
+	CrossMachine bool    // fingerprints differ: take the delta with salt
+}
+
+// CompareEntries compares new against old (same benchmark). When both sides
+// carry per-repetition samples a Mann-Whitney U test decides significance,
+// benchstat-style; otherwise only the mean delta is reported and any
+// over-threshold slowdown counts as a (low-confidence) regression.
+func CompareEntries(old, new LedgerEntry) Comparison {
+	c := Comparison{
+		Name:        new.Name,
+		OldNsOp:     old.NsOp,
+		NewNsOp:     new.NsOp,
+		OldAllocsOp: old.AllocsOp,
+		NewAllocsOp: new.AllocsOp,
+		PValue:      1,
+	}
+	if old.NsOp > 0 {
+		c.DeltaPct = 100 * (new.NsOp - old.NsOp) / old.NsOp
+	}
+	c.CrossMachine = old.Fingerprint.GOOS != new.Fingerprint.GOOS ||
+		old.Fingerprint.GOARCH != new.Fingerprint.GOARCH ||
+		old.Fingerprint.NumCPU != new.Fingerprint.NumCPU
+	testable := len(old.SamplesNsOp) >= 3 && len(new.SamplesNsOp) >= 3
+	if testable {
+		c.PValue = MannWhitneyP(old.SamplesNsOp, new.SamplesNsOp)
+		c.Significant = c.PValue < 0.05
+	}
+	if c.DeltaPct > RegressionThresholdPct {
+		// With samples we require significance; without, the mean delta is
+		// all we have and the comparator errs toward warning.
+		c.Regression = !testable || c.Significant
+	}
+	return c
+}
+
+// String renders a one-line benchstat-style verdict.
+func (c Comparison) String() string {
+	s := fmt.Sprintf("%s: %.0f ns/op -> %.0f ns/op (%+.1f%%, p=%.3f", c.Name, c.OldNsOp, c.NewNsOp, c.DeltaPct, c.PValue)
+	if c.Significant {
+		s += ", significant"
+	} else {
+		s += ", not significant"
+	}
+	s += ")"
+	if c.NewAllocsOp != c.OldAllocsOp {
+		s += fmt.Sprintf(" allocs %d -> %d", c.OldAllocsOp, c.NewAllocsOp)
+	}
+	if c.CrossMachine {
+		s += " [different machine]"
+	}
+	return s
+}
+
+// MannWhitneyP returns the two-sided p-value of the Mann-Whitney U test on
+// two samples, using the normal approximation with tie correction (the same
+// test benchstat uses for benchmark deltas). Degenerate inputs return 1.
+func MannWhitneyP(x, y []float64) float64 {
+	n1, n2 := float64(len(x)), float64(len(y))
+	if n1 == 0 || n2 == 0 {
+		return 1
+	}
+	// Rank the pooled samples, averaging ranks across ties.
+	type obs struct {
+		v     float64
+		fromX bool
+	}
+	all := make([]obs, 0, len(x)+len(y))
+	for _, v := range x {
+		all = append(all, obs{v, true})
+	}
+	for _, v := range y {
+		all = append(all, obs{v, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+	ranks := make([]float64, len(all))
+	var tieTerm float64
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		r := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = r
+		}
+		t := float64(j - i)
+		tieTerm += t*t*t - t
+		i = j
+	}
+	var r1 float64
+	for i, o := range all {
+		if o.fromX {
+			r1 += ranks[i]
+		}
+	}
+	u1 := r1 - n1*(n1+1)/2
+	n := n1 + n2
+	mu := n1 * n2 / 2
+	sigma2 := n1 * n2 / 12 * ((n + 1) - tieTerm/(n*(n-1)))
+	if sigma2 <= 0 {
+		return 1 // all values tied
+	}
+	// Continuity-corrected z.
+	z := (math.Abs(u1-mu) - 0.5) / math.Sqrt(sigma2)
+	if z < 0 {
+		z = 0
+	}
+	p := 2 * (1 - normalCDF(z))
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+func normalCDF(z float64) float64 {
+	return 0.5 * (1 + math.Erf(z/math.Sqrt2))
+}

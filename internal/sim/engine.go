@@ -55,6 +55,7 @@ type Event struct {
 	a1, a2 any
 
 	state uint8
+	kind  Kind // self-profiling attribution (see profile.go)
 }
 
 // At returns the virtual time the event is scheduled to fire.
@@ -92,6 +93,10 @@ type Engine struct {
 	lastAt     Time
 	lastSeq    uint64
 	violations []string
+
+	// Self-profiling (EnableProfile): nil by default so the hot loop pays
+	// one predictable nil check.
+	prof *Profile
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -152,17 +157,28 @@ func (e *Engine) recycle(ev *Event) {
 // Schedule runs fn after delay nanoseconds of virtual time. A negative delay
 // is treated as zero. It returns a handle that can cancel the event.
 func (e *Engine) Schedule(delay Time, fn func()) *Event {
+	return e.ScheduleKind(delay, KindOther, fn)
+}
+
+// ScheduleKind is Schedule with a profiling kind tag.
+func (e *Engine) ScheduleKind(delay Time, k Kind, fn func()) *Event {
 	if delay < 0 {
 		delay = 0
 	}
-	return e.At(e.now+delay, fn)
+	return e.AtKind(e.now+delay, k, fn)
 }
 
 // At runs fn at absolute virtual time t. If t is in the past, the event fires
 // at the current time (but never before events already due).
 func (e *Engine) At(t Time, fn func()) *Event {
+	return e.AtKind(t, KindOther, fn)
+}
+
+// AtKind is At with a profiling kind tag.
+func (e *Engine) AtKind(t Time, k Kind, fn func()) *Event {
 	ev := e.alloc()
 	ev.fn = fn
+	ev.kind = k
 	e.enqueue(ev, t)
 	return ev
 }
@@ -177,6 +193,21 @@ func (e *Engine) ScheduleCall(delay Time, fn func(a1, a2 any), a1, a2 any) *Even
 	}
 	ev := e.alloc()
 	ev.fn2, ev.a1, ev.a2 = fn, a1, a2
+	ev.kind = KindOther
+	e.enqueue(ev, e.now+delay)
+	return ev
+}
+
+// ScheduleCallKind is ScheduleCall with a profiling kind tag. The body is a
+// copy of ScheduleCall rather than a delegation so both stay inlinable on
+// the packet hot path.
+func (e *Engine) ScheduleCallKind(delay Time, k Kind, fn func(a1, a2 any), a1, a2 any) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	ev := e.alloc()
+	ev.fn2, ev.a1, ev.a2 = fn, a1, a2
+	ev.kind = k
 	e.enqueue(ev, e.now+delay)
 	return ev
 }
@@ -241,6 +272,10 @@ func (e *Engine) fire(ev *Event) bool {
 	e.now = ev.at
 	e.fired++
 	ev.state = stateFired
+	if e.prof != nil {
+		e.profiledFire(ev)
+		return true
+	}
 	if ev.fn2 != nil {
 		ev.fn2(ev.a1, ev.a2)
 	} else {

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"math/rand"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -407,17 +406,4 @@ func TestPermIsPermutation(t *testing.T) {
 		}
 		seen[v] = true
 	}
-}
-
-func BenchmarkEngineScheduleRun(b *testing.B) {
-	e := NewEngine()
-	r := rand.New(rand.NewSource(1))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		e.Schedule(Time(r.Intn(1000)), func() {})
-		if e.Pending() > 10000 {
-			e.RunAll()
-		}
-	}
-	e.RunAll()
 }

@@ -49,6 +49,34 @@ func (t *Tracker) WriteMetrics(w io.Writer) error {
 	info("hermes_sim_seconds_total", "Virtual seconds simulated (completed + in-flight runs).", "counter", float64(p.SimNs)/1e9)
 	info("hermes_sim_events_total", "Simulation events fired (completed + in-flight runs).", "counter", float64(p.Events))
 
+	// Performance observatory: the perf.* family, present only when a run
+	// with Config.Perf attached its observatory. Samples arrive pre-sorted
+	// and grouped per family, so one TYPE line per distinct name suffices.
+	if obs := t.Perf(); obs != nil {
+		lastName := ""
+		for _, pm := range obs.Metrics() {
+			name := "hermes_" + sanitizeName(pm.Name)
+			if name != lastName {
+				fmt.Fprintf(&b, "# TYPE %s %s\n", name, pm.Type)
+				lastName = name
+			}
+			b.WriteString(name)
+			var kv []string
+			lks := make([]string, 0, len(pm.Labels))
+			for k := range pm.Labels {
+				lks = append(lks, k)
+			}
+			sort.Strings(lks)
+			for _, k := range lks {
+				kv = append(kv, k, pm.Labels[k])
+			}
+			writeLabels(&b, kv)
+			b.WriteByte(' ')
+			b.WriteString(formatValue(pm.Value))
+			b.WriteByte('\n')
+		}
+	}
+
 	// Registry metrics: completed-run sums plus live snapshots.
 	merged := map[string]float64{}
 	t.mu.Lock()

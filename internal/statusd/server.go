@@ -53,6 +53,7 @@ func Handler(t *Tracker, pollInterval time.Duration) http.Handler {
 		fmt.Fprintln(w, "GET /api/manifest       build and VCS provenance")
 		fmt.Fprintln(w, "GET /api/series         flight-recorder snapshot (?seq=N&transition=M for deltas)")
 		fmt.Fprintln(w, "GET /api/series/stream  the same as live SSE deltas (resumes via Last-Event-ID)")
+		fmt.Fprintln(w, "GET /api/perf           performance observatory summary (runs with Config.Perf)")
 		fmt.Fprintln(w, "GET /metrics            Prometheus text exposition")
 	})
 	mux.HandleFunc("/api/progress", func(w http.ResponseWriter, r *http.Request) {
@@ -80,6 +81,15 @@ func Handler(t *Tracker, pollInterval time.Duration) http.Handler {
 	})
 	mux.HandleFunc("/api/series/stream", func(w http.ResponseWriter, r *http.Request) {
 		streamSeries(w, r, t, pollInterval)
+	})
+	mux.HandleFunc("/api/perf", func(w http.ResponseWriter, r *http.Request) {
+		obs := t.Perf()
+		if obs == nil {
+			http.Error(w, `{"error":"no perf observatory attached (runs profile when Config.Perf is set)"}`,
+				http.StatusNotFound)
+			return
+		}
+		writeJSON(w, obs.Summary())
 	})
 	return mux
 }

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/hermes-repro/hermes/internal/perf"
 	"github.com/hermes-repro/hermes/internal/telemetry"
 	"github.com/hermes-repro/hermes/internal/timeseries"
 )
@@ -125,6 +126,7 @@ type Tracker struct {
 	flight      *timeseries.Recorder
 	flightLabel string
 	flightGen   uint64 // bumped per attach so streams notice replacement
+	perfObs     *perf.Observatory
 }
 
 // NewTracker builds an enabled tracker stamped with the build manifest.
@@ -291,6 +293,28 @@ func (t *Tracker) AttachFlight(rec *timeseries.Recorder, label string) {
 	t.flightLabel = label
 	t.flightGen++
 	t.mu.Unlock()
+}
+
+// AttachPerf makes obs the performance observatory served by /api/perf and
+// exported as the perf.* metrics family (latest attach wins). Runs with
+// Config.Perf attach their observatory automatically.
+func (t *Tracker) AttachPerf(obs *perf.Observatory) {
+	if t == nil || obs == nil {
+		return
+	}
+	t.mu.Lock()
+	t.perfObs = obs
+	t.mu.Unlock()
+}
+
+// Perf returns the attached performance observatory, or nil.
+func (t *Tracker) Perf() *perf.Observatory {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.perfObs
 }
 
 // Flight returns the currently attached recording, its label and an attach

@@ -39,7 +39,7 @@ func (s *Sweeper) Start() {
 	if s.Interval <= 0 {
 		s.Interval = DefaultSweepInterval
 	}
-	s.Eng.Schedule(s.Interval, s.tick)
+	s.Eng.ScheduleKind(s.Interval, sim.KindSample, s.tick)
 }
 
 // Stop ends sweeping after the current tick.
@@ -54,7 +54,7 @@ func (s *Sweeper) tick() {
 		return
 	}
 	s.Snap()
-	s.Eng.Schedule(s.Interval, s.tick)
+	s.Eng.ScheduleKind(s.Interval, sim.KindSample, s.tick)
 }
 
 // Snap takes one snapshot immediately (also used for a final sweep at run

@@ -168,7 +168,7 @@ func (r *Recorder) Start() {
 	if r.Interval <= 0 {
 		r.Interval = DefaultInterval
 	}
-	r.Eng.Schedule(r.Interval, r.tick)
+	r.Eng.ScheduleKind(r.Interval, sim.KindSample, r.tick)
 }
 
 // Stop ends sampling after the current tick.
@@ -183,7 +183,7 @@ func (r *Recorder) tick() {
 		return
 	}
 	r.Snap()
-	r.Eng.Schedule(r.Interval, r.tick)
+	r.Eng.ScheduleKind(r.Interval, sim.KindSample, r.tick)
 }
 
 // Snap takes one sample immediately (also used for the final sweep at run

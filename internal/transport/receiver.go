@@ -86,7 +86,7 @@ func (ep *Endpoint) onData(pkt *net.Packet) {
 		// packet pool as soon as this handler returns, so the closure must
 		// not retain the live pointer past delivery.
 		trigger := *pkt
-		r.reorderTimer = ep.tr.Eng.Schedule(timeout, func() {
+		r.reorderTimer = ep.tr.Eng.ScheduleKind(timeout, sim.KindTimer, func() {
 			r.reorderTimer = nil
 			if len(r.segs) == 0 {
 				return

@@ -95,7 +95,7 @@ func (f *Flow) armRTO() {
 	// ScheduleCall with a package-level trampoline: no closure and (with a
 	// warm engine free list) no event allocation per re-arm, which happens
 	// on every ACK that advances the window.
-	f.rtoTimer = eng.ScheduleCall(f.rto(), flowRTO, f, nil)
+	f.rtoTimer = eng.ScheduleCallKind(f.rto(), sim.KindRTO, flowRTO, f, nil)
 }
 
 func flowRTO(a1, _ any) { a1.(*Flow).onRTO() }

@@ -65,7 +65,7 @@ func (u *UDPSender) sendNext() {
 	u.Host.Send(pkt)
 	u.Sent++
 	interval := sim.Time(int64(wire) * 8 * sim.Second / u.RateBps)
-	u.Eng.ScheduleCall(interval, udpSendNext, u, nil)
+	u.Eng.ScheduleCallKind(interval, sim.KindArrival, udpSendNext, u, nil)
 }
 
 func udpSendNext(a1, _ any) { a1.(*UDPSender).sendNext() }

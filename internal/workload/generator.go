@@ -45,7 +45,7 @@ func (g *Generator) Start() {
 	}
 	flowsPerSec := g.Load * bisection / (g.meanBytes * 8)
 	g.interMean = 1e9 / flowsPerSec
-	g.Net.Eng.Schedule(g.Rng.Exp(g.interMean), g.arrival)
+	g.Net.Eng.ScheduleKind(g.Rng.Exp(g.interMean), sim.KindArrival, g.arrival)
 }
 
 // Started returns the number of flows generated so far.
@@ -67,7 +67,7 @@ func (g *Generator) arrival() {
 	}
 	g.started++
 	if g.started < g.MaxFlows {
-		g.Net.Eng.Schedule(g.Rng.Exp(g.interMean), g.arrival)
+		g.Net.Eng.ScheduleKind(g.Rng.Exp(g.interMean), sim.KindArrival, g.arrival)
 	}
 }
 

@@ -44,7 +44,7 @@ func (ic *Incast) Start() {
 	if ic.Interval <= 0 {
 		ic.Interval = 10 * sim.Millisecond
 	}
-	ic.Net.Eng.Schedule(0, ic.fire)
+	ic.Net.Eng.ScheduleKind(0, sim.KindArrival, ic.fire)
 }
 
 // Started returns the number of events generated so far.
@@ -82,7 +82,7 @@ func (ic *Incast) fire() {
 	watch = func() {
 		for _, f := range flows {
 			if !f.Done {
-				ic.Net.Eng.Schedule(100*sim.Microsecond, watch)
+				ic.Net.Eng.ScheduleKind(100*sim.Microsecond, sim.KindArrival, watch)
 				return
 			}
 		}
@@ -99,7 +99,7 @@ func (ic *Incast) fire() {
 	watch()
 
 	if ic.started < ic.Events {
-		ic.Net.Eng.Schedule(ic.Interval, ic.fire)
+		ic.Net.Eng.ScheduleKind(ic.Interval, sim.KindArrival, ic.fire)
 	}
 }
 

@@ -1,0 +1,55 @@
+package hermes
+
+import (
+	"github.com/hermes-repro/hermes/internal/perf"
+)
+
+// PerfOptions configures the performance observatory for a run
+// (Config.Perf). The zero value enables profiling with defaults: wall-time
+// attribution sampled 1 in 64 event fires, runtime sampled every 50ms.
+type PerfOptions = perf.Options
+
+// PerfReport is the per-run perf block carried in Result.Perf: events fired
+// by kind, sim-vs-wall ratio, queue peak, peak heap, GC time share.
+type PerfReport = perf.RunReport
+
+// PerfObservatory aggregates perf run reports process-wide — total events
+// by kind, throughput, peak heap — and exports them live through the status
+// plane (/api/perf and the perf.* Prometheus family). Safe for concurrent
+// use; parallel sweeps publish from many goroutines.
+type PerfObservatory = perf.Observatory
+
+// PerfSummary is the observatory's aggregate view (the /api/perf payload).
+type PerfSummary = perf.Summary
+
+// PerfLedger is the append-only benchmark trajectory stored in
+// BENCH_perf.json: one entry per pinned-microbenchmark measurement, with
+// machine fingerprint and VCS revision, comparable across PRs with a
+// benchstat-style significance test.
+type PerfLedger = perf.Ledger
+
+// PerfLedgerEntry is one measurement in the perf ledger.
+type PerfLedgerEntry = perf.LedgerEntry
+
+// NewPerfObservatory returns an empty perf observatory.
+func NewPerfObservatory() *PerfObservatory {
+	return perf.NewObservatory()
+}
+
+// SetDefaultPerfObservatory installs obs as the process-wide sink for runs
+// whose PerfOptions carry no explicit Observatory (mirrors
+// SetDefaultStatus). Pass nil to uninstall.
+func SetDefaultPerfObservatory(obs *PerfObservatory) {
+	perf.SetDefault(obs)
+}
+
+// DefaultPerfObservatory returns the process default observatory, or nil.
+func DefaultPerfObservatory() *PerfObservatory {
+	return perf.Default()
+}
+
+// LoadPerfLedger reads a perf ledger file; a missing file yields an empty
+// ledger so the first run bootstraps the trajectory.
+func LoadPerfLedger(path string) (*PerfLedger, error) {
+	return perf.LoadLedger(path)
+}
