@@ -44,6 +44,8 @@ func main() {
 		width         = flag.Int("width", 40, "scorecard chart width")
 		jsonOut       = flag.Bool("json", false, "emit the matrix as JSON instead of the text scorecard")
 		outFile       = flag.String("out", "", "write the output to this file instead of stdout")
+		alertsOn      = flag.Bool("alerts", false, "arm the builtin SLO watchdog on every run; adds alert columns and the detect cross-check to the scorecard")
+		alertLog      = flag.String("alert-log", "", "write every run's alert log as JSONL, in slot order (implies -alerts; view with hermes-trace -alerts)")
 		statusAddr    = flag.String("status", "", `serve the live status plane on this address while the matrix runs (e.g. ":8080"; see /api/progress, /metrics, /api/series/stream)`)
 		progress      = flag.Bool("progress", false, "print a progress line (runs done, ETA) to stderr every few seconds")
 		progressSec   = flag.Int("progress-interval", 5, "seconds between -progress lines")
@@ -139,6 +141,24 @@ func main() {
 		Scenarios: scenarios,
 		Seeds:     hermes.Seeds(*seedBase, *seedCount),
 		Options:   hermes.ParallelOptions{Workers: *workers},
+	}
+
+	if *alertLog != "" {
+		*alertsOn = true
+		f, err := os.Create(*alertLog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "alert log written to %s (view with hermes-trace -alerts)\n", *alertLog)
+		}()
+		mc.AlertLog = f
+	}
+	if *alertsOn {
+		mc.Alerts = &hermes.AlertsConfig{Builtin: true}
 	}
 
 	var obs *hermes.PerfObservatory

@@ -59,6 +59,9 @@ func main() {
 		tsCSVFile    = flag.String("timeseries-csv", "", "write the flight-recorder time series as CSV")
 		tsUs         = flag.Int64("timeseries-us", 0, "flight-recorder sampling interval in microseconds (0 = 100us default)")
 		tsCap        = flag.Int("timeseries-cap", 0, "max retained samples per series, ring-buffered (0 = default)")
+		alertsOn     = flag.Bool("alerts", false, "arm the builtin SLO watchdog pack (goodput-dip, p99-fct-inflation, queue-saturation, gray-path-dwell)")
+		alertRules   = flag.String("alert-rules", "", "arm user alert rules from a JSON file (array of rules; combines with -alerts)")
+		alertLog     = flag.String("alert-log", "", "write the run's alert log as JSONL (view with hermes-trace -alerts)")
 		subflows     = flag.Int("mptcp-subflows", 4, "subflows per logical flow (mptcp scheme)")
 		repThresh    = flag.Int64("repflow-threshold", 0, "replicate flows smaller than this many bytes (repflow scheme; 0 = 100 KB default)")
 		checks       = flag.Bool("checks", false, "arm the simulation invariant harness (engine + packet-conservation checks)")
@@ -217,6 +220,23 @@ func main() {
 	cfg.TimeSeriesIntervalNs = *tsUs * 1000
 	cfg.TimeSeriesCap = *tsCap
 
+	if *alertsOn || *alertRules != "" {
+		ac := &hermes.AlertsConfig{Builtin: *alertsOn}
+		if *alertRules != "" {
+			data, err := os.ReadFile(*alertRules)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := json.Unmarshal(data, &ac.Rules); err != nil {
+				log.Fatalf("parse %s: %v", *alertRules, err)
+			}
+			if err := hermes.ValidateAlertRules(ac.Rules); err != nil {
+				log.Fatalf("%s: %v", *alertRules, err)
+			}
+		}
+		cfg.Alerts = ac
+	}
+
 	if *configFile != "" {
 		data, err := os.ReadFile(*configFile)
 		if err != nil {
@@ -251,6 +271,9 @@ func main() {
 		}
 		if fileCfg.Perf == nil {
 			fileCfg.Perf = cfg.Perf
+		}
+		if fileCfg.Alerts == nil {
+			fileCfg.Alerts = cfg.Alerts
 		}
 		cfg = fileCfg
 	}
@@ -310,6 +333,23 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "report written to %s\n", *reportFile)
+	}
+	if *alertLog != "" {
+		if res.Alerts == nil {
+			log.Fatal("-alert-log needs the watchdog armed (-alerts, -alert-rules or Config.Alerts)")
+		}
+		f, err := os.Create(*alertLog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := fmt.Sprintf("%s/seed %d", res.Scheme, cfg.Seed)
+		if err := hermes.WriteAlertLog(f, label, res.Alerts); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "alert log written to %s (view with hermes-trace -alerts)\n", *alertLog)
 	}
 	if *auditFile != "" {
 		f, err := os.Create(*auditFile)
@@ -386,6 +426,11 @@ func main() {
 				ms(e.TimeToDetectNs), ms(e.TimeToRerouteNs),
 				e.DipDepth, ms(e.DipDurationNs), e.DipIntegralGbpsMs,
 				ms(e.ReconvergeNs), ms(e.PathRestoreNs))
+		}
+	}
+	if res.Alerts != nil {
+		if err := hermes.RenderAlertText(os.Stdout, res.Alerts, 0); err != nil {
+			log.Fatal(err)
 		}
 	}
 	if res.Perf != nil {

@@ -11,6 +11,7 @@
 //	hermes-trace -perfetto run.perfetto.json run.trace.jsonl
 //	hermes-trace -compare hermes.trace.jsonl ecmp.trace.jsonl
 //	hermes-trace -timeline run.ts.jsonl
+//	hermes-trace -alerts run.alerts.jsonl
 package main
 
 import (
@@ -38,6 +39,7 @@ func main() {
 		compareFile = flag.String("compare", "", "second trace: print a side-by-side attribution comparison instead of a full analysis")
 		tsFile      = flag.String("timeline", "", "flight-recorder time series (.jsonl or .csv, from hermes-sim -timeseries): render sparklines, queue heatmap and path-state timelines")
 		ledgerFile  = flag.String("perf-ledger", "", "perf ledger JSON (from hermes-bench -perf): render each benchmark's ns/op trajectory")
+		alertsFile  = flag.String("alerts", "", "alert log JSONL (from hermes-sim/hermes-chaos -alert-log): render each run's episodes and state timeline")
 		width       = flag.Int("width", 64, "chart width in cells")
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the analysis to this file")
 		memProfile  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -64,6 +66,14 @@ func main() {
 	}
 	if *ledgerFile != "" {
 		if err := renderPerfLedger(os.Stdout, *ledgerFile, *width); err != nil {
+			log.Fatal(err)
+		}
+		if flag.NArg() == 0 && *tsFile == "" && *alertsFile == "" {
+			return
+		}
+	}
+	if *alertsFile != "" {
+		if err := renderAlertLog(os.Stdout, *alertsFile, *width); err != nil {
 			log.Fatal(err)
 		}
 		if flag.NArg() == 0 && *tsFile == "" {
@@ -337,12 +347,20 @@ func compare(w io.Writer, nameA string, a *trace.Recorder, nameB string, b *trac
 // and — when at least two entries exist — the latest-vs-previous verdict
 // from the same comparator CI uses.
 func renderPerfLedger(w io.Writer, path string, width int) error {
+	// Distinguish "no such file" from "a ledger with zero entries":
+	// LoadLedger maps a missing file to an empty ledger (the right behavior
+	// for hermes-bench appending its first entry), but for a viewer a typo'd
+	// path should not masquerade as an empty history.
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		fmt.Fprintf(w, "perf ledger %s not found (hermes-bench -perf creates it; check the path)\n", path)
+		return nil
+	}
 	ledger, err := perf.LoadLedger(path)
 	if err != nil {
 		return err
 	}
 	if len(ledger.Entries) == 0 {
-		fmt.Fprintf(w, "perf ledger %s is empty (seed it with hermes-bench -perf)\n", path)
+		fmt.Fprintf(w, "perf ledger %s has no entries yet (seed it with hermes-bench -perf)\n", path)
 		return nil
 	}
 	fmt.Fprintf(w, "perf ledger %s: %d entries\n", path, len(ledger.Entries))
@@ -381,6 +399,33 @@ func renderPerfLedger(w io.Writer, path string, width int) error {
 		if len(history) >= 2 {
 			c := perf.CompareEntries(history[len(history)-2], history[len(history)-1])
 			fmt.Fprintf(w, "  latest vs previous: %s\n", c.String())
+		}
+	}
+	return nil
+}
+
+// renderAlertLog prints every run of a JSONL alert log (hermes-sim or
+// hermes-chaos -alert-log): the run label, episode lines, and the per-rule
+// state timeline.
+func renderAlertLog(w io.Writer, path string, width int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runs, err := hermes.ReadAlertLog(f)
+	if err != nil {
+		return err
+	}
+	if len(runs) == 0 {
+		fmt.Fprintf(w, "alert log %s has no runs (arm the watchdog with -alerts)\n", path)
+		return nil
+	}
+	fmt.Fprintf(w, "alert log %s: %d run(s)\n", path, len(runs))
+	for i := range runs {
+		fmt.Fprintf(w, "\nrun %s\n", runs[i].Label)
+		if err := hermes.RenderAlertText(w, &runs[i].Report, width); err != nil {
+			return err
 		}
 	}
 	return nil

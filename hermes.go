@@ -24,6 +24,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/hermes-repro/hermes/internal/alert"
 	"github.com/hermes-repro/hermes/internal/chaos"
 	"github.com/hermes-repro/hermes/internal/core"
 	"github.com/hermes-repro/hermes/internal/failure"
@@ -316,6 +317,15 @@ type Config struct {
 	// CSV after the run (implies TimeSeries).
 	TimeSeriesCSV io.Writer `json:"-"`
 
+	// Alerts, when non-nil, arms the SLO watchdog: declarative rules
+	// (builtin pack and/or user rules) evaluated over the flight recorder
+	// at every sample boundary, with a pending -> firing -> resolved
+	// lifecycle reported on Result.Alerts. Implies TimeSeries. Evaluation
+	// rides the virtual clock, so alert logs are byte-identical under
+	// RunParallel. (omitempty keeps reports from unwatched runs
+	// byte-stable.)
+	Alerts *AlertsConfig `json:",omitempty"`
+
 	// Status, when non-nil, attaches this run to a live status tracker:
 	// progress, live metric snapshots and the flight recorder become
 	// visible on the tracker's HTTP status plane (ServeStatus) while the
@@ -424,6 +434,11 @@ type Result struct {
 	// time-to-reroute, goodput-dip depth/duration/integral, post-clear
 	// re-convergence — when Config.Scenario was set (nil otherwise).
 	Recovery *Recovery `json:",omitempty"`
+
+	// Alerts is the SLO watchdog's end-of-run report — every alert
+	// episode with its lifecycle instants, cause and severity, plus the
+	// lifecycle event log — when Config.Alerts was set (nil otherwise).
+	Alerts *AlertReport `json:",omitempty"`
 
 	// Perf is the run's performance-observatory block — events fired by
 	// kind, sim-vs-wall ratio, queue peak, peak heap, GC time share — when
@@ -556,7 +571,7 @@ func Run(cfg Config) (res *Result, err error) {
 
 	var flight *timeseries.Recorder
 	if cfg.TimeSeries || cfg.TimeSeriesWriter != nil || cfg.TimeSeriesCSV != nil ||
-		scenario != nil {
+		scenario != nil || cfg.Alerts != nil {
 		tsCap := cfg.TimeSeriesCap
 		if tsCap == 0 && scenario != nil {
 			// Recovery metrics need the pre-onset baseline and the reroute
@@ -632,6 +647,23 @@ func Run(cfg Config) (res *Result, err error) {
 	}
 	tr.AttachFlightRecorder(flight)
 	wiring.afterTransport(nw, rng)
+
+	// SLO watchdog: rules evaluate on the recorder's sample boundaries.
+	// Wildcard rules re-resolve lazily, so probes registered later (scheme
+	// census series) are still picked up.
+	var watchdog *alert.Evaluator
+	if cfg.Alerts != nil {
+		rules, err := cfg.Alerts.rules(flight, nw)
+		if err != nil {
+			return nil, err
+		}
+		watchdog, err = alert.New(flight, rules, cfg.Alerts.MaxEvents, 0)
+		if err != nil {
+			return nil, fmt.Errorf("hermes: %w", err)
+		}
+		// Expose live alerts on the status plane (/api/alerts, ALERTS).
+		st.AttachAlerts(watchdog, runLabel)
+	}
 
 	// Switch-malfunction failures can be installed any time before traffic.
 	if err := injectSwitchFailure(nw, rng, spec); err != nil {
@@ -883,6 +915,9 @@ func Run(cfg Config) (res *Result, err error) {
 				return nil, err
 			}
 		}
+	}
+	if watchdog != nil {
+		res.Alerts = watchdog.Report()
 	}
 	if cfg.Checks {
 		if vs := eng.Violations(); len(vs) > 0 {

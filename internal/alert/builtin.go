@@ -1,0 +1,87 @@
+package alert
+
+// Builtin rule names, pinned so downstream consumers (the chaos scorecard
+// detect cross-check, tests, dashboards) can key on them.
+const (
+	RuleGoodputDip      = "goodput-dip"
+	RuleP99FCTInflation = "p99-fct-inflation"
+	RuleQueueSaturation = "queue-saturation"
+	RuleGrayPathDwell   = "gray-path-dwell"
+)
+
+// BuiltinParams sizes the builtin pack to the run it watches.
+type BuiltinParams struct {
+	// IntervalNs is the recorder sampling period; windows and holds are
+	// expressed in sample intervals so the pack adapts to -timeseries-us.
+	IntervalNs int64
+	// QueueCapBytes is the largest fabric-port queue capacity; the
+	// saturation threshold is 90% of it. <= 0 omits the queue rule.
+	QueueCapBytes float64
+}
+
+// Builtin returns the standard SLO pack: goodput dip, p99-FCT inflation,
+// queue saturation, and gray-path dwell. Thresholds are conservative —
+// tuned to stay silent on a healthy testbed run and fire on the chaos
+// scenarios' induced failures.
+func Builtin(p BuiltinParams) []Rule {
+	iv := p.IntervalNs
+	if iv <= 0 {
+		iv = 100_000 // timeseries.DefaultInterval
+	}
+	rules := []Rule{
+		{
+			Name:     RuleGoodputDip,
+			Series:   "net.goodput_gbps",
+			Op:       OpDip,
+			Value:    0.4,
+			WindowNs: 20 * iv,
+			ForNs:    3 * iv,
+			MinValue: 0.05,
+			Severity: SeverityWarning,
+			Help:     "aggregate goodput dipped >40% below its trailing baseline",
+		},
+		{
+			Name:     RuleP99FCTInflation,
+			Series:   "transport.fct_p99_ms",
+			Op:       OpSpike,
+			Value:    1.0,
+			WindowNs: 20 * iv,
+			ForNs:    3 * iv,
+			MinValue: 0.01,
+			Severity: SeverityWarning,
+			Help:     "p99 flow completion time more than doubled vs its trailing baseline",
+		},
+		// Two entries share the gray-path-dwell name on purpose: the
+		// recovery plane's detection instant is the first transition into
+		// gray OR failed, and a probe-loss verdict can take a path straight
+		// to failed without ever dwelling gray. Watching both censuses keeps
+		// the watchdog consistent with Recovery.TimeToDetect.
+		{
+			Name:     RuleGrayPathDwell,
+			Series:   "hermes.paths_gray{*}",
+			Op:       OpAbove,
+			Value:    0,
+			Severity: SeverityCritical,
+			Help:     "at least one path is characterized gray (sensing sees a failure)",
+		},
+		{
+			Name:     RuleGrayPathDwell,
+			Series:   "hermes.paths_failed{*}",
+			Op:       OpAbove,
+			Value:    0,
+			Severity: SeverityCritical,
+			Help:     "at least one path is characterized failed (sensing confirmed a failure)",
+		},
+	}
+	if p.QueueCapBytes > 0 {
+		rules = append(rules, Rule{
+			Name:     RuleQueueSaturation,
+			Series:   "net.port.queue_bytes{*}",
+			Op:       OpAbove,
+			Value:    0.9 * p.QueueCapBytes,
+			Severity: SeverityCritical,
+			Help:     "a fabric port queue exceeded 90% of its capacity",
+		})
+	}
+	return rules
+}

@@ -1,0 +1,126 @@
+package alert
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The JSONL alert log: one "run" header line per run (label + summary
+// counters), followed by that run's alert lines and event lines. Runs are
+// written in slot order by the chaos matrix regardless of worker
+// scheduling, so the log is byte-identical parallel vs sequential.
+
+// logLine is the union row. Kind selects which fields are set.
+type logLine struct {
+	Kind   string `json:"kind"` // "run" | "alert" | "event"
+	Schema string `json:"schema,omitempty"`
+	Label  string `json:"label,omitempty"`
+	// Run header summary.
+	IntervalNs    int64 `json:"interval_ns,omitempty"`
+	Fired         int   `json:"fired,omitempty"`
+	Resolved      int   `json:"resolved,omitempty"`
+	Cancelled     int   `json:"cancelled,omitempty"`
+	Pending       int   `json:"pending,omitempty"`
+	Firing        int   `json:"firing,omitempty"`
+	DroppedEvents int   `json:"dropped_events,omitempty"`
+	DroppedAlerts int   `json:"dropped_alerts,omitempty"`
+
+	Alert *Alert `json:"alert,omitempty"`
+	Event *Event `json:"event,omitempty"`
+}
+
+// RunLog is one run's worth of a parsed alert log.
+type RunLog struct {
+	Label  string
+	Report Report
+}
+
+// WriteRunLog appends one run's alerts to w as JSONL.
+func WriteRunLog(w io.Writer, label string, rep *Report) error {
+	if rep == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	head := logLine{
+		Kind:          "run",
+		Schema:        Schema,
+		Label:         label,
+		IntervalNs:    rep.IntervalNs,
+		Fired:         rep.Fired,
+		Resolved:      rep.Resolved,
+		Cancelled:     rep.Cancelled,
+		Pending:       rep.Pending,
+		Firing:        rep.Firing,
+		DroppedEvents: rep.DroppedEvents,
+		DroppedAlerts: rep.DroppedAlerts,
+	}
+	if err := enc.Encode(head); err != nil {
+		return err
+	}
+	for i := range rep.Alerts {
+		if err := enc.Encode(logLine{Kind: "alert", Alert: &rep.Alerts[i]}); err != nil {
+			return err
+		}
+	}
+	for i := range rep.Events {
+		if err := enc.Encode(logLine{Kind: "event", Event: &rep.Events[i]}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadLog parses a JSONL alert log back into per-run reports.
+func ReadLog(r io.Reader) ([]RunLog, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var runs []RunLog
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var ll logLine
+		if err := json.Unmarshal(sc.Bytes(), &ll); err != nil {
+			return nil, fmt.Errorf("alert log line %d: %w", line, err)
+		}
+		switch ll.Kind {
+		case "run":
+			if ll.Schema != Schema {
+				return nil, fmt.Errorf("alert log line %d: schema %q, want %q", line, ll.Schema, Schema)
+			}
+			runs = append(runs, RunLog{Label: ll.Label, Report: Report{
+				Schema:        ll.Schema,
+				IntervalNs:    ll.IntervalNs,
+				Fired:         ll.Fired,
+				Resolved:      ll.Resolved,
+				Cancelled:     ll.Cancelled,
+				Pending:       ll.Pending,
+				Firing:        ll.Firing,
+				DroppedEvents: ll.DroppedEvents,
+				DroppedAlerts: ll.DroppedAlerts,
+			}})
+		case "alert":
+			if len(runs) == 0 || ll.Alert == nil {
+				return nil, fmt.Errorf("alert log line %d: alert before run header", line)
+			}
+			rep := &runs[len(runs)-1].Report
+			rep.Alerts = append(rep.Alerts, *ll.Alert)
+		case "event":
+			if len(runs) == 0 || ll.Event == nil {
+				return nil, fmt.Errorf("alert log line %d: event before run header", line)
+			}
+			rep := &runs[len(runs)-1].Report
+			rep.Events = append(rep.Events, *ll.Event)
+		default:
+			return nil, fmt.Errorf("alert log line %d: unknown kind %q", line, ll.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return runs, nil
+}

@@ -1,0 +1,128 @@
+package alert
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/hermes-repro/hermes/internal/textplot"
+)
+
+// RenderText writes the human-readable view of one alert report: a summary
+// line, one line per episode, and a state timeline on the evaluator's
+// sample grid — '.' idle, '~' pending, '#' firing. Deterministic for a
+// given report.
+func RenderText(w io.Writer, rep *Report, width int) error {
+	if rep == nil {
+		_, err := fmt.Fprintln(w, "alerts: none recorded")
+		return err
+	}
+	armed := "" // parsed logs carry counters but not the rule set
+	if len(rep.Rules) > 0 {
+		armed = fmt.Sprintf("%d rule(s) armed — ", len(rep.Rules))
+	}
+	if _, err := fmt.Fprintf(w, "alerts: %sfired=%d resolved=%d pending=%d firing=%d cancelled=%d\n",
+		armed, rep.Fired, rep.Resolved, rep.Pending, rep.Firing, rep.Cancelled); err != nil {
+		return err
+	}
+	if rep.DroppedEvents > 0 || rep.DroppedAlerts > 0 {
+		if _, err := fmt.Fprintf(w, "  capped: %d event(s) and %d episode(s) dropped\n",
+			rep.DroppedEvents, rep.DroppedAlerts); err != nil {
+			return err
+		}
+	}
+	if len(rep.Alerts) == 0 {
+		_, err := fmt.Fprintln(w, "  no episodes — every armed series stayed within its rule")
+		return err
+	}
+	ms := func(ns int64) string { return fmt.Sprintf("%.2fms", float64(ns)/1e6) }
+	const maxLines = 24
+	shown := rep.Alerts
+	if len(shown) > maxLines {
+		shown = shown[:maxLines]
+	}
+	for _, a := range shown {
+		span := "pending " + ms(a.PendingNs)
+		if a.FiringNs != 0 {
+			span += ", firing " + ms(a.FiringNs)
+		}
+		if a.ResolvedNs != 0 {
+			span += ", ended " + ms(a.ResolvedNs)
+		}
+		if _, err := fmt.Fprintf(w, "  [%s/%s] %s on %s (%s): %s\n",
+			a.Severity, a.State, a.Rule, a.Series, span, a.Cause); err != nil {
+			return err
+		}
+	}
+	if n := len(rep.Alerts) - len(shown); n > 0 {
+		if _, err := fmt.Fprintf(w, "  ... %d more episode(s); see the JSON report or alert log\n", n); err != nil {
+			return err
+		}
+	}
+	return renderTimeline(w, rep, width)
+}
+
+// renderTimeline draws one row per (rule, series) pair that had an episode.
+// Episode spans are half-open [PendingNs, ResolvedNs): at the resolving
+// sample the condition had already cleared. Still-open episodes extend to
+// the report's horizon.
+func renderTimeline(w io.Writer, rep *Report, width int) error {
+	iv := rep.IntervalNs
+	if iv <= 0 {
+		return nil
+	}
+	end := int64(0)
+	for _, a := range rep.Alerts {
+		for _, t := range []int64{a.PendingNs, a.FiringNs, a.ResolvedNs} {
+			if t > end {
+				end = t
+			}
+		}
+	}
+	for _, ev := range rep.Events {
+		if ev.AtNs > end {
+			end = ev.AtNs
+		}
+	}
+	n := int(end/iv) + 1
+	if n < 2 {
+		n = 2
+	}
+	rows := map[string][]float64{}
+	for _, a := range rep.Alerts {
+		key := a.Rule + " " + a.Series
+		vals := rows[key]
+		if vals == nil {
+			vals = make([]float64, n)
+			rows[key] = vals
+		}
+		stop := a.ResolvedNs
+		if stop == 0 {
+			stop = end + iv
+		}
+		for t := a.PendingNs; t < stop; t += iv {
+			i := int(t / iv)
+			if i < 0 || i >= n {
+				continue
+			}
+			code := 1.0
+			if a.FiringNs != 0 && t >= a.FiringNs {
+				code = 2
+			}
+			if vals[i] < code {
+				vals[i] = code
+			}
+		}
+	}
+	keys := make([]string, 0, len(rows))
+	for k := range rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	series := make([]textplot.Series, 0, len(keys))
+	for _, k := range keys {
+		series = append(series, textplot.Series{Label: k, Values: rows[k]})
+	}
+	title := fmt.Sprintf("alert timeline (%.2fms/sample; '.' ok '~' pending '#' firing)", float64(iv)/1e6)
+	return textplot.Timeline(w, title, series, []byte{'.', '~', '#'}, width)
+}

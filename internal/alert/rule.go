@@ -1,0 +1,157 @@
+// Package alert is the declarative SLO watchdog over the flight recorder:
+// rules reference a recorded series by name (exact, or a '*' glob over the
+// full "name{label=value}" key space), apply a predicate — threshold,
+// rate-of-change, dip/spike against a trailing baseline, absence — hold it
+// for a configurable duration, and drive a Prometheus-shaped alert
+// lifecycle (pending -> firing -> resolved), cause-tagged with the sample
+// that tripped them.
+//
+// The evaluator runs on simulation-clock sample boundaries (it hangs off
+// timeseries.Recorder.OnSample), so every judgement is a pure function of
+// (config, seed): alert logs from a worker-pool run and a sequential run
+// are byte-identical. When no rules are armed nothing is attached and the
+// recorder hot path is untouched.
+package alert
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Schema identifies the alert report/log layout; bump on breaking changes.
+const Schema = "hermes-alerts/v1"
+
+// Op is a rule predicate.
+type Op string
+
+const (
+	// OpAbove fires while value > Value.
+	OpAbove Op = "above"
+	// OpBelow fires while value < Value.
+	OpBelow Op = "below"
+	// OpRateAbove fires while the signed per-second rate of change
+	// (v - prev) / dt exceeds Value.
+	OpRateAbove Op = "rate-above"
+	// OpDip fires while value < (1-Value) x the trailing-window baseline
+	// (Value 0.4 = "dipped more than 40% below baseline"). Requires
+	// WindowNs; the baseline is frozen at breach onset so recovery is
+	// judged against the pre-dip level.
+	OpDip Op = "dip"
+	// OpSpike fires while value > (1+Value) x the trailing-window
+	// baseline (Value 1.0 = "more than doubled"). Requires WindowNs.
+	OpSpike Op = "spike"
+	// OpAbsent fires while the series does not exist in the recorder.
+	// Exact series names only (a glob that matches nothing is vacuous,
+	// not absent).
+	OpAbsent Op = "absent"
+)
+
+// Severity ranks a rule. The zero value defaults to SeverityWarning.
+type Severity string
+
+const (
+	SeverityInfo     Severity = "info"
+	SeverityWarning  Severity = "warning"
+	SeverityCritical Severity = "critical"
+)
+
+// Rule is one declarative SLO condition over a recorded series.
+//
+// Naming convention (see DESIGN.md): rule names are lowercase
+// kebab-case, lead with the signal ("goodput-dip", "queue-saturation"),
+// and never embed the series name or threshold — those live in the rule
+// body so dashboards keyed on alertname survive retuning.
+type Rule struct {
+	// Name labels the rule in alerts, logs and the ALERTS exposition.
+	Name string `json:"name"`
+	// Series is the flight-recorder series key: exact ("net.goodput_gbps")
+	// or a '*' glob over full keys ("net.port.queue_bytes{*}").
+	Series string `json:"series"`
+	Op     Op     `json:"op"`
+	// Value is the predicate parameter: threshold for above/below,
+	// per-second rate for rate-above, fractional depth/height for
+	// dip/spike. Unused for absent.
+	Value float64 `json:"value,omitempty"`
+	// ForNs is the hold: the predicate must stay true this long before
+	// pending promotes to firing. 0 fires on the first breaching sample.
+	ForNs int64 `json:"for_ns,omitempty"`
+	// WindowNs sizes the trailing baseline window for dip/spike.
+	WindowNs int64 `json:"window_ns,omitempty"`
+	// MinValue gates dip/spike: baselines at or below it are noise and
+	// never breach (e.g. goodput before traffic starts).
+	MinValue float64 `json:"min_value,omitempty"`
+	// Severity defaults to warning when empty.
+	Severity Severity `json:"severity,omitempty"`
+	// Help is a one-line human description, exported to # HELP.
+	Help string `json:"help,omitempty"`
+}
+
+// severity returns the rule severity with the default applied.
+func (r Rule) severity() Severity {
+	if r.Severity == "" {
+		return SeverityWarning
+	}
+	return r.Severity
+}
+
+// Validate reports the first problem with the rule, or nil.
+func (r Rule) Validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("alert rule: empty name")
+	}
+	if r.Series == "" {
+		return fmt.Errorf("alert rule %q: empty series", r.Name)
+	}
+	switch r.Op {
+	case OpAbove, OpBelow, OpRateAbove:
+	case OpDip, OpSpike:
+		if r.WindowNs <= 0 {
+			return fmt.Errorf("alert rule %q: op %q needs window_ns > 0", r.Name, r.Op)
+		}
+		if r.Value <= 0 {
+			return fmt.Errorf("alert rule %q: op %q needs value > 0 (fractional depth)", r.Name, r.Op)
+		}
+	case OpAbsent:
+		if strings.Contains(r.Series, "*") {
+			return fmt.Errorf("alert rule %q: op absent needs an exact series name, not a glob", r.Name)
+		}
+	case "":
+		return fmt.Errorf("alert rule %q: empty op", r.Name)
+	default:
+		return fmt.Errorf("alert rule %q: unknown op %q", r.Name, r.Op)
+	}
+	switch r.Severity {
+	case "", SeverityInfo, SeverityWarning, SeverityCritical:
+	default:
+		return fmt.Errorf("alert rule %q: unknown severity %q", r.Name, r.Severity)
+	}
+	if r.ForNs < 0 {
+		return fmt.Errorf("alert rule %q: negative for_ns", r.Name)
+	}
+	return nil
+}
+
+// matchGlob reports whether key matches pattern, where '*' matches any
+// (possibly empty) substring of the full series key.
+func matchGlob(pattern, key string) bool {
+	segs := strings.Split(pattern, "*")
+	if len(segs) == 1 {
+		return pattern == key
+	}
+	if !strings.HasPrefix(key, segs[0]) {
+		return false
+	}
+	key = key[len(segs[0]):]
+	last := segs[len(segs)-1]
+	for _, seg := range segs[1 : len(segs)-1] {
+		if seg == "" {
+			continue
+		}
+		i := strings.Index(key, seg)
+		if i < 0 {
+			return false
+		}
+		key = key[i+len(seg):]
+	}
+	return strings.HasSuffix(key, last) && len(key) >= len(last)
+}

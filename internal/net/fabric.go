@@ -400,6 +400,28 @@ func (n *Network) ForEachPort(fn func(*Port)) {
 	}
 }
 
+// MaxFabricQueueCap returns the largest drop-tail queue capacity among the
+// fabric (leaf-spine) ports — the ports that carry per-port queue series on
+// the flight recorder. Alert thresholds (queue-saturation) size against it.
+func (n *Network) MaxFabricQueueCap() int {
+	max := 0
+	for _, leaf := range n.Leaves {
+		for _, p := range leaf.up {
+			if p.queueCap > max {
+				max = p.queueCap
+			}
+		}
+	}
+	for _, sp := range n.Spines {
+		for _, p := range sp.down {
+			if p.queueCap > max {
+				max = p.queueCap
+			}
+		}
+	}
+	return max
+}
+
 // PacketStats summarizes the fabric-wide packet ledger.
 type PacketStats struct {
 	Injected    uint64 // packets that entered via Host.Send

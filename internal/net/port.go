@@ -148,6 +148,10 @@ func (p *Port) SetRateBps(rate int64) {
 	}
 }
 
+// QueueCapBytes returns the drop-tail data-queue capacity in bytes. Alert
+// thresholds (queue-saturation) are sized against it.
+func (p *Port) QueueCapBytes() int { return p.queueCap }
+
 // PropDelay returns the one-way propagation delay.
 func (p *Port) PropDelay() sim.Time { return p.propDelay }
 

@@ -49,14 +49,38 @@ func (t *Tracker) WriteMetrics(w io.Writer) error {
 	info("hermes_sim_seconds_total", "Virtual seconds simulated (completed + in-flight runs).", "counter", float64(p.SimNs)/1e9)
 	info("hermes_sim_events_total", "Simulation events fired (completed + in-flight runs).", "counter", float64(p.Events))
 
+	// SLO watchdog: Prometheus-convention ALERTS series, present only when
+	// a run with Config.Alerts attached its evaluator. One sample per OPEN
+	// episode (value 1 while pending or firing) — each (rule, series) pair
+	// has at most one open episode, so label sets never collide.
+	if ev, _, _ := t.Alerts(); ev != nil {
+		s := ev.SnapshotSince(0)
+		fmt.Fprintf(&b, "# HELP ALERTS SLO watchdog alerts currently pending or firing (value is always 1).\n# TYPE ALERTS gauge\n")
+		for _, a := range s.Alerts {
+			if a.State != "pending" && a.State != "firing" {
+				continue
+			}
+			b.WriteString("ALERTS")
+			writeLabels(&b, []string{
+				"alertname", a.Rule, "severity", string(a.Severity),
+				"state", a.State, "series", a.Series,
+			})
+			b.WriteString(" 1\n")
+		}
+		info("hermes_alerts_pending", "Alert episodes currently in the pending state.", "gauge", float64(s.Pending))
+		info("hermes_alerts_firing", "Alert episodes currently in the firing state.", "gauge", float64(s.Firing))
+	}
+
 	// Performance observatory: the perf.* family, present only when a run
 	// with Config.Perf attached its observatory. Samples arrive pre-sorted
-	// and grouped per family, so one TYPE line per distinct name suffices.
+	// and grouped per family, so one HELP/TYPE pair per distinct name
+	// suffices.
 	if obs := t.Perf(); obs != nil {
 		lastName := ""
 		for _, pm := range obs.Metrics() {
 			name := "hermes_" + sanitizeName(pm.Name)
 			if name != lastName {
+				fmt.Fprintf(&b, "# HELP %s Performance observatory aggregate %s.\n", name, pm.Name)
 				fmt.Fprintf(&b, "# TYPE %s %s\n", name, pm.Type)
 				lastName = name
 			}
@@ -119,6 +143,7 @@ func (t *Tracker) WriteMetrics(w io.Writer) error {
 	}
 	sort.Strings(names)
 	for _, name := range names {
+		fmt.Fprintf(&b, "# HELP %s Telemetry registry metric, summed over completed runs plus live snapshots.\n", name)
 		fmt.Fprintf(&b, "# TYPE %s untyped\n", name)
 		samples := families[name]
 		sort.Slice(samples, func(i, j int) bool {
@@ -150,6 +175,7 @@ func (t *Tracker) WriteMetrics(w io.Writer) error {
 // shape: cumulative _bucket{le=...} series, then _sum and _count.
 func writeHistogram(b *strings.Builder, key string, hs telemetry.HistogramStats) {
 	name, labels := splitKey(key)
+	fmt.Fprintf(b, "# HELP %s Telemetry registry histogram, accumulated across completed runs.\n", name)
 	fmt.Fprintf(b, "# TYPE %s histogram\n", name)
 	cum := uint64(0)
 	emit := func(le string, count uint64) {

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/hermes-repro/hermes/internal/alert"
 	"github.com/hermes-repro/hermes/internal/timeseries"
 )
 
@@ -53,8 +54,10 @@ func Handler(t *Tracker, pollInterval time.Duration) http.Handler {
 		fmt.Fprintln(w, "GET /api/manifest       build and VCS provenance")
 		fmt.Fprintln(w, "GET /api/series         flight-recorder snapshot (?seq=N&transition=M for deltas)")
 		fmt.Fprintln(w, "GET /api/series/stream  the same as live SSE deltas (resumes via Last-Event-ID)")
+		fmt.Fprintln(w, "GET /api/alerts         SLO watchdog state (?since=N for event deltas)")
+		fmt.Fprintln(w, "GET /api/alerts/stream  alert lifecycle edges as live SSE deltas")
 		fmt.Fprintln(w, "GET /api/perf           performance observatory summary (runs with Config.Perf)")
-		fmt.Fprintln(w, "GET /metrics            Prometheus text exposition")
+		fmt.Fprintln(w, "GET /metrics            Prometheus text exposition (includes ALERTS when armed)")
 	})
 	mux.HandleFunc("/api/progress", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, t.Progress())
@@ -81,6 +84,22 @@ func Handler(t *Tracker, pollInterval time.Duration) http.Handler {
 	})
 	mux.HandleFunc("/api/series/stream", func(w http.ResponseWriter, r *http.Request) {
 		streamSeries(w, r, t, pollInterval)
+	})
+	mux.HandleFunc("/api/alerts", func(w http.ResponseWriter, r *http.Request) {
+		ev, label, gen := t.Alerts()
+		if ev == nil {
+			http.Error(w, `{"error":"no alert evaluator attached (runs watch when Config.Alerts is set)"}`,
+				http.StatusNotFound)
+			return
+		}
+		since := 0
+		if v := r.URL.Query().Get("since"); v != "" {
+			since, _ = strconv.Atoi(v)
+		}
+		writeJSON(w, AlertsPayload{Label: label, Generation: gen, Snapshot: ev.SnapshotSince(since)})
+	})
+	mux.HandleFunc("/api/alerts/stream", func(w http.ResponseWriter, r *http.Request) {
+		streamAlerts(w, r, t, pollInterval)
 	})
 	mux.HandleFunc("/api/perf", func(w http.ResponseWriter, r *http.Request) {
 		obs := t.Perf()
@@ -174,6 +193,93 @@ func streamSeries(w http.ResponseWriter, r *http.Request, t *Tracker, pollInterv
 		idle++
 		if idle >= 4 {
 			// Keep proxies and clients convinced the stream is alive.
+			fmt.Fprint(w, ": keepalive\n\n")
+			flusher.Flush()
+			idle = 0
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// AlertsPayload wraps a watchdog snapshot with the identity of the run it
+// came from (/api/alerts and every alerts-stream SSE event).
+type AlertsPayload struct {
+	Label      string `json:"label"`
+	Generation uint64 `json:"generation"`
+	alert.Snapshot
+}
+
+// parseAlertEventID decodes the "nextEvent:generation" SSE event id used by
+// the alerts stream.
+func parseAlertEventID(id string) (int, uint64, bool) {
+	parts := strings.Split(id, ":")
+	if len(parts) != 2 {
+		return 0, 0, false
+	}
+	next, err1 := strconv.Atoi(parts[0])
+	gen, err2 := strconv.ParseUint(parts[1], 10, 64)
+	if err1 != nil || err2 != nil {
+		return 0, 0, false
+	}
+	return next, gen, true
+}
+
+// streamAlerts serves the SLO watchdog as Server-Sent Events: one "alerts"
+// event whenever new lifecycle edges appeared (or a new run's evaluator
+// replaced the followed one, which restarts the event cursor), keepalive
+// comments otherwise. Event ids are "nextEvent:generation"; a reconnecting
+// client resumes from Last-Event-ID or ?since=N.
+func streamAlerts(w http.ResponseWriter, r *http.Request, t *Tracker, pollInterval time.Duration) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	since := 0
+	if v := r.URL.Query().Get("since"); v != "" {
+		since, _ = strconv.Atoi(v)
+	}
+	var haveGen uint64
+	if id := r.Header.Get("Last-Event-ID"); id != "" {
+		if next, gen, ok := parseAlertEventID(id); ok {
+			since, haveGen = next, gen
+		}
+	}
+
+	ctx := r.Context()
+	ticker := time.NewTicker(pollInterval)
+	defer ticker.Stop()
+	idle := 0
+	for {
+		ev, label, gen := t.Alerts()
+		if ev != nil {
+			if haveGen != 0 && gen != haveGen {
+				since = 0
+			}
+			s := ev.SnapshotSince(since)
+			if len(s.Events) > 0 || haveGen != gen {
+				payload, err := json.Marshal(AlertsPayload{Label: label, Generation: gen, Snapshot: s})
+				if err == nil {
+					fmt.Fprintf(w, "id: %d:%d\nevent: alerts\ndata: %s\n\n",
+						s.NextEvent, gen, payload)
+					flusher.Flush()
+				}
+				idle = 0
+			}
+			since, haveGen = s.NextEvent, gen
+		}
+		idle++
+		if idle >= 4 {
 			fmt.Fprint(w, ": keepalive\n\n")
 			flusher.Flush()
 			idle = 0

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/hermes-repro/hermes/internal/alert"
 	"github.com/hermes-repro/hermes/internal/perf"
 	"github.com/hermes-repro/hermes/internal/telemetry"
 	"github.com/hermes-repro/hermes/internal/timeseries"
@@ -127,6 +128,9 @@ type Tracker struct {
 	flightLabel string
 	flightGen   uint64 // bumped per attach so streams notice replacement
 	perfObs     *perf.Observatory
+	alerts      *alert.Evaluator
+	alertsLabel string
+	alertsGen   uint64 // bumped per attach so streams notice replacement
 }
 
 // NewTracker builds an enabled tracker stamped with the build manifest.
@@ -315,6 +319,32 @@ func (t *Tracker) Perf() *perf.Observatory {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.perfObs
+}
+
+// AttachAlerts makes ev the alert evaluator served by /api/alerts, streamed
+// by /api/alerts/stream and exported as ALERTS on /metrics (latest attach
+// wins; runs without alerts leave the previous evaluator in place for
+// post-run inspection).
+func (t *Tracker) AttachAlerts(ev *alert.Evaluator, label string) {
+	if t == nil || ev == nil {
+		return
+	}
+	t.mu.Lock()
+	t.alerts = ev
+	t.alertsLabel = label
+	t.alertsGen++
+	t.mu.Unlock()
+}
+
+// Alerts returns the attached alert evaluator, its label and an attach
+// generation (readers use the generation to notice replacement mid-stream).
+func (t *Tracker) Alerts() (*alert.Evaluator, string, uint64) {
+	if t == nil {
+		return nil, "", 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.alerts, t.alertsLabel, t.alertsGen
 }
 
 // Flight returns the currently attached recording, its label and an attach

@@ -91,6 +91,7 @@ type Recorder struct {
 	probes      []probe
 	probeIdx    map[string]int
 	tickFns     []func()
+	onSample    []func(atNs int64)
 	scratch     []float64 // probe values staged outside the lock
 	transitions []Transition
 	// DroppedTransitions counts log entries discarded at the cap. Written
@@ -144,6 +145,50 @@ func (r *Recorder) AtTick(fn func()) {
 		return
 	}
 	r.tickFns = append(r.tickFns, fn)
+}
+
+// OnSample registers a hook run on the simulation goroutine after every
+// sealed sample row, with the row's instant. The alert evaluator hangs here:
+// by the time the hook runs the row is published and the recorder lock is
+// released, so the hook may call LatestValue and the snapshot accessors
+// freely.
+func (r *Recorder) OnSample(fn func(atNs int64)) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.onSample = append(r.onSample, fn)
+}
+
+// ProbeNames returns the registered probe names in registration order. Only
+// call from the simulation goroutine (the slice is appended to by Register).
+func (r *Recorder) ProbeNames() []string {
+	if r == nil {
+		return nil
+	}
+	out := make([]string, len(r.probes))
+	for i, p := range r.probes {
+		out[i] = p.name
+	}
+	return out
+}
+
+// LatestValue returns the named series' value at the most recent sample
+// row, or ok=false when the series does not exist or no row has been
+// appended yet. Safe for concurrent use with Snap.
+func (r *Recorder) LatestValue(name string) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cols.Len() == 0 {
+		return 0, false
+	}
+	i, ok := r.cols.index[name]
+	if !ok {
+		return 0, false
+	}
+	return r.cols.cols[i][r.cols.cur()], true
 }
 
 // AddTransition appends one path-state transition, honoring the cap.
@@ -204,11 +249,17 @@ func (r *Recorder) Snap() {
 	for _, p := range r.probes {
 		r.scratch = append(r.scratch, p.fn())
 	}
+	at := int64(r.Eng.Now())
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.cols.Append(r.Eng.Now())
+	r.cols.Append(at)
 	for i, p := range r.probes {
 		r.cols.Put(p.name, r.scratch[i])
+	}
+	r.mu.Unlock()
+	// Sample hooks (the alert evaluator) run after the row is sealed and
+	// the lock released: they read the row back through LatestValue.
+	for _, fn := range r.onSample {
+		fn(at)
 	}
 }
 

@@ -28,6 +28,13 @@ type Transport struct {
 	Retransmits uint64
 	Timeouts    uint64
 
+	// fctRing holds the most recent completed-flow FCTs in milliseconds
+	// for the flight recorder's tail-latency probe. nil (one predictable
+	// branch in finish) unless AttachFlightRecorder armed it.
+	fctRing    []float64
+	fctRingPos int
+	fctRingLen int
+
 	// RepFlow accounting (see repflow.go); zero unless StartRepFlow is used.
 	RepFlowsStarted uint64 // replicated logical flows opened
 	ReplicaWins     uint64 // races won by the replica copy

@@ -1,11 +1,22 @@
 package transport
 
-import "github.com/hermes-repro/hermes/internal/timeseries"
+import (
+	"sort"
+
+	"github.com/hermes-repro/hermes/internal/timeseries"
+)
+
+// fctWindow bounds the recent-FCT ring behind the p99 probe: large enough
+// that a sample interval's completions never dominate it, small enough that
+// the probe's sort stays cheap.
+const fctWindow = 512
 
 // AttachFlightRecorder registers the transport's time-series surface on the
 // flight recorder: active-flow count, total in-flight (sent-unacked) bytes,
-// and the cumulative loss counters. All pull-style probes over state the
-// transport already maintains, so the per-packet path is untouched.
+// the cumulative loss counters, and a windowed p99 flow-completion time.
+// All pull-style probes over state the transport already maintains; the
+// per-packet path is untouched and flow completion pays one append into a
+// fixed ring.
 func (tr *Transport) AttachFlightRecorder(rec *timeseries.Recorder) {
 	if rec == nil {
 		return
@@ -29,4 +40,31 @@ func (tr *Transport) AttachFlightRecorder(rec *timeseries.Recorder) {
 	rec.Register("transport.timeouts_total", func() float64 {
 		return float64(tr.Timeouts)
 	})
+	tr.fctRing = make([]float64, fctWindow)
+	scratch := make([]float64, 0, fctWindow)
+	rec.Register("transport.fct_p99_ms", func() float64 {
+		n := tr.fctRingLen
+		if n == 0 {
+			return 0
+		}
+		scratch = append(scratch[:0], tr.fctRing[:n]...)
+		sort.Float64s(scratch)
+		i := (99*n + 99) / 100 // ceil(0.99 n)
+		if i > n {
+			i = n
+		}
+		return scratch[i-1]
+	})
+}
+
+// recordFCT appends one completed flow's FCT (milliseconds) to the ring.
+func (tr *Transport) recordFCT(ms float64) {
+	tr.fctRing[tr.fctRingPos] = ms
+	tr.fctRingPos++
+	if tr.fctRingPos == len(tr.fctRing) {
+		tr.fctRingPos = 0
+	}
+	if tr.fctRingLen < len(tr.fctRing) {
+		tr.fctRingLen++
+	}
 }

@@ -272,6 +272,9 @@ func (f *Flow) finish(now sim.Time) {
 		tr.telemAlpha.Observe(f.alpha)
 	}
 	f.ep.bal.OnFlowDone(f)
+	if tr.fctRing != nil && !f.Hidden {
+		tr.recordFCT(float64(f.EndAt-f.StartAt) / 1e6)
+	}
 	if tr.OnFlowDone != nil && !f.Hidden {
 		tr.OnFlowDone(f)
 	}

@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"github.com/hermes-repro/hermes/internal/alert"
 	"github.com/hermes-repro/hermes/internal/core"
 	"github.com/hermes-repro/hermes/internal/net"
 	"github.com/hermes-repro/hermes/internal/sim"
@@ -288,6 +290,16 @@ type ChaosMatrixConfig struct {
 	Scenarios []*Scenario // each needs a distinct non-empty Name
 	Seeds     []int64
 	Options   ParallelOptions
+
+	// Alerts arms the SLO watchdog on every run of the matrix (clean
+	// baselines included, so false-positive rates are visible). Per-cell
+	// alert counts and the detect cross-check land on each ChaosCell.
+	Alerts *AlertsConfig
+	// AlertLog, when set alongside Alerts, receives every run's alert log
+	// as JSONL in slot order (scheme-major, then scenario, then seed) —
+	// written after the pool completes, so the bytes are identical
+	// regardless of worker count.
+	AlertLog io.Writer `json:"-"`
 }
 
 // ChaosCell aggregates one scheme under one scenario across all seeds.
@@ -317,6 +329,16 @@ type ChaosCell struct {
 	GoodputGbps     SeedStats `json:"goodput_gbps"`
 	// Unfinished totals flows stranded at run end across seeds.
 	Unfinished int `json:"unfinished"`
+
+	// Alert columns, populated only when ChaosMatrixConfig.Alerts armed the
+	// watchdog: episodes fired/resolved across seeds, and the consistency
+	// cross-check — of AlertDetectTotal detected failure activations,
+	// AlertDetectAgree had a gray-path-dwell alert fire within one sample
+	// interval of the recovery plane's detection instant.
+	AlertsFired      int `json:"alerts_fired,omitempty"`
+	AlertsResolved   int `json:"alerts_resolved,omitempty"`
+	AlertDetectAgree int `json:"alert_detect_agree,omitempty"`
+	AlertDetectTotal int `json:"alert_detect_total,omitempty"`
 }
 
 // SchemeScore is one row of the matrix ranking: Score is the mean over
@@ -340,6 +362,10 @@ type ChaosMatrix struct {
 	Schemes   []Scheme `json:"schemes"`
 	Scenarios []string `json:"scenarios"`
 	Seeds     []int64  `json:"seeds"`
+
+	// AlertsArmed records whether the SLO watchdog ran on every cell (the
+	// alert columns of Cells are meaningful only when true).
+	AlertsArmed bool `json:"alerts_armed,omitempty"`
 
 	// BaselineP99Ms is each scheme's clean-run p99 (mean over seeds), the
 	// denominator of every inflation figure.
@@ -400,6 +426,7 @@ func RunChaosMatrix(ctx context.Context, mc ChaosMatrixConfig) (*ChaosMatrix, er
 				c.Scheme = scheme
 				c.Seed = seed
 				c.Failure = FailureSpec{}
+				c.Alerts = mc.Alerts
 				if ci < 0 {
 					c.Scenario = nil
 					c.TimeSeries = false
@@ -421,8 +448,23 @@ func RunChaosMatrix(ctx context.Context, mc ChaosMatrixConfig) (*ChaosMatrix, er
 		return nil, err
 	}
 
+	// Flush the per-run alert logs in slot order after the pool drains:
+	// the log bytes are then a pure function of the matrix config,
+	// independent of worker count and scheduling.
+	if mc.Alerts != nil && mc.AlertLog != nil {
+		for i, res := range results {
+			if res.Alerts == nil {
+				continue
+			}
+			if err := alert.WriteRunLog(mc.AlertLog, labels[i], res.Alerts); err != nil {
+				return nil, fmt.Errorf("hermes: writing chaos alert log: %w", err)
+			}
+		}
+	}
+
 	m := &ChaosMatrix{
 		Schemes: mc.Schemes, Seeds: mc.Seeds,
+		AlertsArmed:   mc.Alerts != nil,
 		BaselineP99Ms: make(map[Scheme]float64, len(mc.Schemes)),
 	}
 	for _, sc := range mc.Scenarios {
@@ -467,6 +509,15 @@ func RunChaosMatrix(ctx context.Context, mc ChaosMatrixConfig) (*ChaosMatrix, er
 						runInt += e.DipIntegralGbpsMs
 					}
 				}
+				if res.Alerts != nil {
+					cell.AlertsFired += res.Alerts.Fired
+					cell.AlertsResolved += res.Alerts.Resolved
+					if res.Recovery != nil {
+						cross := crossCheckAlertDetect(res)
+						cell.AlertDetectAgree += cross[0]
+						cell.AlertDetectTotal += cross[1]
+					}
+				}
 				if !math.IsInf(runDetect, 1) {
 					cell.DetectedRuns++
 					detect = append(detect, runDetect/1e6)
@@ -497,6 +548,43 @@ func RunChaosMatrix(ctx context.Context, mc ChaosMatrixConfig) (*ChaosMatrix, er
 	}
 	m.rank()
 	return m, nil
+}
+
+// crossCheckAlertDetect reconciles the two independent detection planes of
+// one run. The recovery analysis detects at the exact instant of the first
+// in-scope path-state transition into gray/failed; the gray-path-dwell rule
+// watches the same census through the generic rule engine, but only on
+// sample boundaries. Consistency therefore means: at the first sample
+// boundary at/after OnsetNs+TimeToDetectNs, a gray-path-dwell alert is
+// firing. When the census was clean before the failure, that alert's fire
+// time necessarily matches TimeToDetect within one sample interval; when
+// routine sense-making had already grayed paths, the dwell alert was firing
+// earlier — the watchdog saw the degradation no later than the recovery
+// plane. Returns {agreements, detected activations}.
+func crossCheckAlertDetect(res *Result) [2]int {
+	iv := res.Alerts.IntervalNs
+	if iv <= 0 {
+		return [2]int{}
+	}
+	var agree, total int
+	for _, e := range res.Recovery.Events {
+		if e.TimeToDetectNs < 0 {
+			continue
+		}
+		total++
+		d := e.OnsetNs + e.TimeToDetectNs
+		s := ((d + iv - 1) / iv) * iv // first sample boundary at/after detection
+		for _, a := range res.Alerts.Alerts {
+			if a.Rule != AlertGrayPathDwell || a.FiringNs == 0 {
+				continue
+			}
+			if a.FiringNs <= s && (a.ResolvedNs == 0 || a.ResolvedNs > s) {
+				agree++
+				break
+			}
+		}
+	}
+	return [2]int{agree, total}
 }
 
 // rank fills Ranking: per scenario each scheme accrues three equally-weighted

@@ -27,8 +27,14 @@ func (m *ChaosMatrix) RenderText(w io.Writer, width int) error {
 		if _, err := fmt.Fprintf(w, "scenario %s\n", scn); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "  %-10s %12s %12s %14s %18s %16s %6s\n",
-			"scheme", "detect(ms)", "reroute(ms)", "worst-dip(ms)", "dip-cost(Gbps*ms)", "p99(ms)", "unfin"); err != nil {
+		// The alert columns exist only when the watchdog ran on every cell,
+		// keeping the unarmed scorecard byte-stable.
+		alertHdr, alertRow := "", ""
+		if m.AlertsArmed {
+			alertHdr = fmt.Sprintf(" %14s %13s", "alerts(f/r)", "detect-agree")
+		}
+		if _, err := fmt.Fprintf(w, "  %-10s %12s %12s %14s %18s %16s %6s%s\n",
+			"scheme", "detect(ms)", "reroute(ms)", "worst-dip(ms)", "dip-cost(Gbps*ms)", "p99(ms)", "unfin", alertHdr); err != nil {
 			return err
 		}
 		for _, s := range m.Schemes {
@@ -37,9 +43,17 @@ func (m *ChaosMatrix) RenderText(w io.Writer, width int) error {
 				continue
 			}
 			p99 := fmt.Sprintf("%.2f (%+.1f%%)", c.P99Ms.Mean, c.P99InflationPct)
-			if _, err := fmt.Fprintf(w, "  %-10s %12s %12s %14.2f %18.1f %16s %6d\n",
+			if m.AlertsArmed {
+				agree := "-"
+				if c.AlertDetectTotal > 0 {
+					agree = fmt.Sprintf("%d/%d", c.AlertDetectAgree, c.AlertDetectTotal)
+				}
+				alertRow = fmt.Sprintf(" %14s %13s",
+					fmt.Sprintf("%d/%d", c.AlertsFired, c.AlertsResolved), agree)
+			}
+			if _, err := fmt.Fprintf(w, "  %-10s %12s %12s %14.2f %18.1f %16s %6d%s\n",
 				string(s), ms(c.MeanDetectMs), ms(c.MeanRerouteMs),
-				c.WorstDipMs.Mean, c.DipIntegral.Mean, p99, c.Unfinished); err != nil {
+				c.WorstDipMs.Mean, c.DipIntegral.Mean, p99, c.Unfinished, alertRow); err != nil {
 				return err
 			}
 		}
