@@ -1,7 +1,6 @@
 package main
 
 import (
-	"context"
 	"fmt"
 	"log"
 	"os"
@@ -40,7 +39,7 @@ func chaosExp(o options) {
 	if flows > 200 {
 		flows = 200 // recovery metrics saturate long before bench's default
 	}
-	m, err := hermes.RunChaosMatrix(context.Background(), hermes.ChaosMatrixConfig{
+	m, err := hermes.RunChaosMatrix(benchCtx, hermes.ChaosMatrixConfig{
 		Base: hermes.Config{
 			Topology: topo, Workload: "web-search", Load: 0.5,
 			Flows: flows, DrainTimeoutNs: 300e6,
@@ -50,11 +49,11 @@ func chaosExp(o options) {
 		Seeds:     hermes.Seeds(o.seed, 3),
 		Options:   hermes.ParallelOptions{Workers: sweepWorkers},
 	})
-	if err != nil {
+	if err != nil && m == nil {
 		log.Fatal(err)
 	}
-	if err := m.RenderText(os.Stdout, 40); err != nil {
-		log.Fatal(err)
+	if renderErr := m.RenderText(os.Stdout, 40); renderErr != nil {
+		log.Fatal(renderErr)
 	}
 
 	// Long-format CSV mirror: one row per matrix cell.
@@ -66,5 +65,12 @@ func chaosExp(o options) {
 			fmt.Sprintf("%.3f", c.WorstDipMs.Mean), fmt.Sprintf("%.3f", c.DipIntegral.Mean),
 			fmt.Sprintf("%.3f", c.P99Ms.Mean), fmt.Sprintf("%.2f", c.P99InflationPct),
 			fmt.Sprintf("%d", c.Unfinished)})
+	}
+	if err != nil {
+		// Interrupted sweep: the partial scorecard and its CSV mirror are on
+		// disk; report the cancellation with a non-zero exit.
+		endCSVTable()
+		fmt.Fprintf(os.Stderr, "\ninterrupted (%v); partial chaos matrix flushed\n", err)
+		os.Exit(130)
 	}
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"os"
@@ -59,6 +61,9 @@ func mustRun(cfg hermes.Config) *hermes.Result {
 		cfg.TimeSeries = true
 	}
 	res, err := hermes.Run(cfg)
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		interruptExit(err)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

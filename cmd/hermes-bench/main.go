@@ -13,14 +13,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"github.com/hermes-repro/hermes"
@@ -159,6 +163,14 @@ func main() {
 	}
 	plotTables = *plot
 	hermes.SetDefaultWorkers(*workers)
+
+	// SIGINT/SIGTERM cancel every pooled and in-flight simulation at its
+	// next scheduling slice; mustRun funnels the cancellations through
+	// interruptExit, which flushes the partial table before exiting non-zero.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	benchCtx = ctx
+	hermes.SetDefaultRunContext(ctx)
 	if *statusAddr != "" || *progress {
 		// Experiments build their Configs internally, so observability rides
 		// the process-wide default tracker rather than Config.Status.
@@ -248,6 +260,27 @@ func main() {
 
 // statusTracker is the -status/-progress tracker (nil when neither is set).
 var statusTracker *hermes.Status
+
+// benchCtx carries the SIGINT/SIGTERM cancellation into every experiment
+// that takes an explicit context (the chaos matrix sweep).
+var benchCtx context.Context = context.Background()
+
+// interruptOnce elects the single goroutine that reports an interrupt;
+// sweeps run data points concurrently and every one of them fails with a
+// cancellation at the same slice boundary.
+var interruptOnce sync.Once
+
+// interruptExit flushes the current experiment's partially-written table,
+// reports where the run stopped, and exits 130. Never returns: losers of the
+// race park until the winner's os.Exit tears the process down.
+func interruptExit(err error) {
+	interruptOnce.Do(func() {
+		endCSVTable()
+		fmt.Fprintf(os.Stderr, "\ninterrupted during %s (%v); partial tables flushed\n", currentExp, err)
+		os.Exit(130)
+	})
+	select {}
+}
 
 func runOne(e experiment, o options) {
 	fmt.Printf("\n================ %s: %s ================\n", e.name, e.what)

@@ -21,7 +21,9 @@ import (
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	hermes "github.com/hermes-repro/hermes"
@@ -44,6 +46,7 @@ func main() {
 		width         = flag.Int("width", 40, "scorecard chart width")
 		jsonOut       = flag.Bool("json", false, "emit the matrix as JSON instead of the text scorecard")
 		outFile       = flag.String("out", "", "write the output to this file instead of stdout")
+		ckptDir       = flag.String("checkpoint-dir", "", "on SIGINT/SIGTERM, each in-flight run writes a final checkpoint into this directory (resume individual runs with hermes-sim -resume <file>)")
 		alertsOn      = flag.Bool("alerts", false, "arm the builtin SLO watchdog on every run; adds alert columns and the detect cross-check to the scorecard")
 		alertLog      = flag.String("alert-log", "", "write every run's alert log as JSONL, in slot order (implies -alerts; view with hermes-trace -alerts)")
 		statusAddr    = flag.String("status", "", `serve the live status plane on this address while the matrix runs (e.g. ":8080"; see /api/progress, /metrics, /api/series/stream)`)
@@ -143,6 +146,12 @@ func main() {
 		Options:   hermes.ParallelOptions{Workers: *workers},
 	}
 
+	if *ckptDir != "" {
+		// Dir-only checkpointing: nothing is written on the happy path, but
+		// an interrupted run flushes one resumable checkpoint before dying.
+		mc.Base.Checkpoint = &hermes.CheckpointConfig{Dir: *ckptDir}
+	}
+
 	if *alertLog != "" {
 		*alertsOn = true
 		f, err := os.Create(*alertLog)
@@ -195,8 +204,15 @@ func main() {
 		defer stop()
 	}
 
-	m, err := hermes.RunChaosMatrix(context.Background(), mc)
-	if err != nil {
+	// SIGINT/SIGTERM drain the pool gracefully: the matrix comes back marked
+	// Partial over whatever finished, the alert log holds the completed
+	// runs, and (with -checkpoint-dir) every in-flight run leaves a final
+	// checkpoint before dying.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	m, err := hermes.RunChaosMatrix(ctx, mc)
+	if err != nil && m == nil {
 		log.Fatal(err)
 	}
 	// Stamp provenance onto the emitted artifact (RunChaosMatrix itself
@@ -222,12 +238,20 @@ func main() {
 	if *jsonOut {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(m); err != nil {
-			log.Fatal(err)
+		if encErr := enc.Encode(m); encErr != nil {
+			log.Fatal(encErr)
 		}
-		return
+	} else if renderErr := m.RenderText(w, *width); renderErr != nil {
+		log.Fatal(renderErr)
 	}
-	if err := m.RenderText(w, *width); err != nil {
-		log.Fatal(err)
+	if err != nil {
+		// The partial artifact is flushed (os.File writes are unbuffered);
+		// report the interruption and exit non-zero. Skipped defers only
+		// lose the closing log lines.
+		fmt.Fprintf(os.Stderr, "interrupted (%v); partial matrix emitted\n", err)
+		if *ckptDir != "" {
+			fmt.Fprintf(os.Stderr, "per-run interrupt checkpoints in %s (resume with hermes-sim -resume <file>)\n", *ckptDir)
+		}
+		os.Exit(130)
 	}
 }

@@ -6,15 +6,22 @@
 //	hermes-sim -scheme hermes -workload web-search -load 0.6 -flows 1000
 //	hermes-sim -scheme conga -failure random-drop -drop-rate 0.02 -json
 //	hermes-sim -topology testbed -scheme presto -load 0.5
+//	hermes-sim -scheme hermes -flows 50000 -soak -checkpoint-dir ckpts
+//	hermes-sim -resume ckpts -json
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
+	"syscall"
 
 	hermes "github.com/hermes-repro/hermes"
 	"github.com/hermes-repro/hermes/internal/perf"
@@ -69,6 +76,11 @@ func main() {
 		statusAddr   = flag.String("status", "", `serve the live status plane on this address while the run executes (e.g. ":8080"; see /api/progress, /metrics)`)
 		perfOn       = flag.Bool("perf", false, "enable the performance observatory: engine self-profiling + runtime sampling, printed as a perf block")
 		perfSample   = flag.Int("perf-sample", 0, "wall-time attribution stride: time 1 in N event fires (0 = 64 default)")
+		soak         = flag.Bool("soak", false, "soak mode: periodic checkpoints + graceful SIGINT/SIGTERM (implies -checkpoint-dir, default interval 10ms sim time)")
+		resumePath   = flag.String("resume", "", "resume from a checkpoint file, or the latest checkpoint in a directory (ignores experiment flags; the config is embedded)")
+		ckptDir      = flag.String("checkpoint-dir", "", "write simulation checkpoints into this directory (resume with -resume)")
+		ckptIvMs     = flag.Int64("checkpoint-interval-ms", 0, "checkpoint every this many milliseconds of simulated time")
+		ckptAtMs     = flag.String("checkpoint-at-ms", "", "comma-separated simulated-time instants (ms) to checkpoint at")
 		cpuProfile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile   = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 		version      = flag.Bool("version", false, "print build version and VCS revision, then exit")
@@ -99,6 +111,12 @@ func main() {
 		fmt.Println("builtin scenarios:", strings.Join(hermes.ScenarioNames(), " "))
 		fmt.Println(`plus "random" (use -chaos-intensity and -seed)`)
 		return
+	}
+
+	if *resumePath != "" &&
+		(*configFile != "" || *traceFile != "" || *perfettoFile != "" || *tsFile != "" ||
+			*tsCSVFile != "" || *reportFile != "" || *auditFile != "" || *telem) {
+		log.Fatal("-resume replays the experiment from the config embedded in the checkpoint; it cannot be combined with -config, -telemetry or writer flags (-trace, -perfetto, -timeseries*, -report, -audit)")
 	}
 
 	var topo hermes.Topology
@@ -278,6 +296,29 @@ func main() {
 		cfg = fileCfg
 	}
 
+	// Checkpointing (flags stay in force over a -config file, like -checks).
+	// -soak is the long-run shape: arm periodic checkpoints and rely on the
+	// graceful-signal path below to leave a resumable checkpoint on Ctrl-C.
+	if *soak && *ckptDir == "" {
+		*ckptDir = "hermes-checkpoints"
+	}
+	if *ckptDir != "" {
+		ck := &hermes.CheckpointConfig{Dir: *ckptDir, IntervalNs: *ckptIvMs * 1e6}
+		if *ckptAtMs != "" {
+			for _, s := range strings.Split(*ckptAtMs, ",") {
+				ms, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+				if err != nil {
+					log.Fatalf("-checkpoint-at-ms %q: %v", *ckptAtMs, err)
+				}
+				ck.AtNs = append(ck.AtNs, int64(ms*1e6))
+			}
+		}
+		if *soak && ck.IntervalNs == 0 && len(ck.AtNs) == 0 {
+			ck.IntervalNs = 10e6
+		}
+		cfg.Checkpoint = ck
+	}
+
 	if *statusAddr != "" {
 		st := hermes.NewStatus()
 		st.Plan(1)
@@ -288,11 +329,38 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "status plane on %s\n", srv.URL())
 		cfg.Status = st
+		// A -resume run builds its Config from the checkpoint (which cannot
+		// carry a tracker); the process-wide default routes it here too.
+		hermes.SetDefaultStatus(st)
 	}
 
-	res, err := hermes.Run(cfg)
+	// SIGINT/SIGTERM cancel the run at its next scheduling slice; with
+	// checkpointing armed the run flushes one final interrupt checkpoint
+	// before reporting, so a soak is resumable from the instant it died.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	hermes.SetDefaultRunContext(ctx)
+
+	var res *hermes.Result
+	var err error
+	if *resumePath != "" {
+		res, err = hermes.Restore(*resumePath)
+	} else {
+		res, err = hermes.Run(cfg)
+	}
+	var ie *hermes.InterruptedError
+	if errors.As(err, &ie) {
+		fmt.Fprintf(os.Stderr, "interrupted at t=%.1fms; checkpoint written to %s\n",
+			float64(ie.Checkpoint.SimTimeNs)/1e6, ie.Checkpoint.Path)
+		fmt.Fprintf(os.Stderr, "resume with: hermes-sim -resume %s\n", ie.Checkpoint.Path)
+		os.Exit(130)
+	}
 	if err != nil {
 		log.Fatal(err)
+	}
+	for _, ci := range res.Checkpoints {
+		fmt.Fprintf(os.Stderr, "checkpoint t=%.1fms written to %s (%d bytes)\n",
+			float64(ci.SimTimeNs)/1e6, ci.Path, ci.Bytes)
 	}
 	if res.TraceCounts != nil {
 		fmt.Fprintf(os.Stderr, "trace: %v\n", res.TraceCounts)

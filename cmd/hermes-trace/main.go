@@ -12,6 +12,7 @@
 //	hermes-trace -compare hermes.trace.jsonl ecmp.trace.jsonl
 //	hermes-trace -timeline run.ts.jsonl
 //	hermes-trace -alerts run.alerts.jsonl
+//	hermes-trace -checkpoint ckpts/
 package main
 
 import (
@@ -40,6 +41,7 @@ func main() {
 		tsFile      = flag.String("timeline", "", "flight-recorder time series (.jsonl or .csv, from hermes-sim -timeseries): render sparklines, queue heatmap and path-state timelines")
 		ledgerFile  = flag.String("perf-ledger", "", "perf ledger JSON (from hermes-bench -perf): render each benchmark's ns/op trajectory")
 		alertsFile  = flag.String("alerts", "", "alert log JSONL (from hermes-sim/hermes-chaos -alert-log): render each run's episodes and state timeline")
+		ckptFile    = flag.String("checkpoint", "", "checkpoint file or directory (from hermes-sim -checkpoint-dir): print its header, embedded experiment and state-section sizes")
 		width       = flag.Int("width", 64, "chart width in cells")
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the analysis to this file")
 		memProfile  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -66,6 +68,14 @@ func main() {
 	}
 	if *ledgerFile != "" {
 		if err := renderPerfLedger(os.Stdout, *ledgerFile, *width); err != nil {
+			log.Fatal(err)
+		}
+		if flag.NArg() == 0 && *tsFile == "" && *alertsFile == "" {
+			return
+		}
+	}
+	if *ckptFile != "" {
+		if err := inspectCheckpoint(os.Stdout, *ckptFile); err != nil {
 			log.Fatal(err)
 		}
 		if flag.NArg() == 0 && *tsFile == "" && *alertsFile == "" {

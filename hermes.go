@@ -348,14 +348,29 @@ type Config struct {
 	// config hashes): profiling on vs off must not change artifact bytes.
 	Perf *PerfOptions `json:"-"`
 
+	// Checkpoint, when non-nil, arms the checkpoint plane: the run writes
+	// versioned hermes-ckpt/v1 snapshot files (see internal/checkpoint) into
+	// Dir at the configured interval and/or explicit instants, and — when the
+	// run is interrupted through its context — at the interruption instant.
+	// Checkpoint instants become scheduling-slice boundaries, so a
+	// checkpointed config must keep checkpointing on restore for
+	// byte-identical reports; Restore preserves it automatically.
+	Checkpoint *CheckpointConfig `json:",omitempty"`
+
 	// statusLabel names this run on the status plane. Set by the sweep
 	// helpers (scheme/scenario/seed); Run derives one when empty.
 	statusLabel string
 
 	// ctx, when set by RunParallelOpts, lets a sweep interrupt this run at
-	// its next scheduling slice. Unexported: single runs are not
-	// interruptible from the public API.
+	// its next scheduling slice. Unexported: single runs pick up the
+	// SetDefaultRunContext process default.
 	ctx context.Context
+
+	// forkScenario is a scenario grafted onto a restored run at its fork
+	// instant by Fork. Unlike Scenario it must not shape setup-time state —
+	// the replay oracle was captured without it — so it is installed only
+	// after replay verification. Unexported: only Fork sets it.
+	forkScenario *Scenario
 }
 
 // scenarioDefaultCap is the flight-recorder ring cap scenario runs default
@@ -445,6 +460,12 @@ type Result struct {
 	// Config.Perf was set (nil otherwise). Wall-clock data: excluded from
 	// BuildReport and every deterministic artifact.
 	Perf *PerfReport `json:",omitempty"`
+
+	// Checkpoints lists every scheduled checkpoint the run wrote, in
+	// virtual-time order, when Config.Checkpoint was set. Interrupt
+	// checkpoints travel on the InterruptedError instead. (omitempty keeps
+	// reports from uncheckpointed runs byte-stable.)
+	Checkpoints []CheckpointInfo `json:",omitempty"`
 }
 
 // Recovery and EventRecovery re-export the chaos engine's per-run resilience
@@ -469,129 +490,223 @@ func (t Topology) toNet() net.Config {
 }
 
 // Run executes one experiment and returns its measurements.
-func Run(cfg Config) (res *Result, err error) {
-	if cfg.Flows <= 0 {
-		return nil, fmt.Errorf("hermes: Flows must be positive")
-	}
-	if cfg.Load <= 0 || cfg.Load > 1.5 {
-		return nil, fmt.Errorf("hermes: Load %v out of range (0, 1.5]", cfg.Load)
-	}
-	if err := validateFailureSpec(cfg.Failure, cfg.Topology); err != nil {
-		return nil, fmt.Errorf("hermes: invalid Failure: %w", err)
-	}
-	// Timed failure kinds are sugar for a Scenario; lower them here so the
-	// chaos runner is the single code path for everything time-varying.
-	spec, scenario := cfg.Failure, cfg.Scenario
-	switch spec.Kind {
-	case FailureFlap, FailureSpineDown, FailureLeafDown:
-		if scenario != nil {
-			return nil, fmt.Errorf("hermes: Failure kind %q is scenario sugar and cannot combine with Config.Scenario; add it as a scenario event instead", spec.Kind)
-		}
-		if spec.Kind == FailureFlap {
-			scenario = flapScenario(spec, cfg.Topology)
-		} else {
-			scenario = switchDownScenario(spec)
-		}
-		spec = FailureSpec{}
+func Run(cfg Config) (*Result, error) { return runWith(cfg, nil) }
+
+// run carries one experiment's live state through setup, the scheduling
+// loop and result assembly. Structuring the run this way is what lets the
+// checkpoint plane (checkpoint.go) capture, verify and fork it: every
+// component a snapshot must observe hangs off one value.
+type run struct {
+	cfg      Config
+	spec     FailureSpec
+	scenario *Scenario
+
+	st       *Status
+	sh       *statusd.RunHandle
+	runLabel string
+
+	eng *sim.Engine
+	rng *sim.RNG
+	nw  *net.Network
+	tr  *transport.Transport
+	gen *workload.Generator
+	w   *wiring
+
+	rd     *telemetry.RunData
+	flight *timeseries.Recorder
+	// flightLate marks a flight recorder that exists only because of a
+	// forked-in scenario: it is created at setup (so wiring can register
+	// series) but started only at the fork instant — recorder ticks are
+	// engine events, and the replay oracle was captured without them.
+	flightLate bool
+	watchdog   *alert.Evaluator
+	tracer     *trace.Recorder
+	delayAcct  *net.DelayAccount
+	vis        *metrics.VisibilitySampler
+	runner     *chaos.Runner
+
+	prof          *sim.Profile
+	sampler       *perf.RuntimeSampler
+	perfWallStart time.Time
+
+	rec           *metrics.FCTRecorder
+	dist          *workload.CDF
+	baseBisection int64
+	baseRTT       sim.Time
+	hostRate      int64
+
+	deliveredBytes int64
+	flowsDone      int64
+	groups         []*transport.MPTCPGroup
+	repGroups      []*transport.RepFlowGroup
+	lastArrival    sim.Time
+
+	ckpt   *ckptPlan
+	replay *replayPlan
+}
+
+// runWith executes one experiment, optionally replaying it up to a restored
+// checkpoint first. Run, Restore and Fork all funnel through here.
+func runWith(cfg Config, rp *replayPlan) (res *Result, err error) {
+	r := &run{cfg: cfg, replay: rp}
+	if err := r.validate(); err != nil {
+		return nil, err
 	}
 
 	// Status publishing is observational only: the handle receives progress
 	// at slice boundaries and the final summary, and a failed run (any error
 	// from here on) is retired as such.
-	st := statusFor(&cfg)
-	runLabel := cfg.statusLabel
-	if runLabel == "" {
-		runLabel = fmt.Sprintf("%s/seed %d", cfg.Scheme, cfg.Seed)
+	r.st = statusFor(&r.cfg)
+	r.runLabel = r.cfg.statusLabel
+	if r.runLabel == "" {
+		r.runLabel = fmt.Sprintf("%s/seed %d", r.cfg.Scheme, r.cfg.Seed)
 	}
-	var sh *statusd.RunHandle
-	if st != nil {
-		sh = st.StartRun(runLabel, cfg.Flows)
+	if r.st != nil {
+		r.sh = r.st.StartRun(r.runLabel, r.cfg.Flows)
 		defer func() {
 			if err != nil {
-				sh.Fail(err)
+				r.sh.Fail(err)
 			}
 		}()
 	}
 
-	var dist *workload.CDF
-	if cfg.WorkloadFile != "" {
-		dist, err = workload.LoadCDFFile(cfg.WorkloadFile)
-	} else {
-		dist, err = workload.ByName(cfg.Workload)
+	err = r.setup()
+	if r.sampler != nil {
+		// The deferred Stop is idempotent and covers every error return.
+		defer r.sampler.Stop()
 	}
 	if err != nil {
 		return nil, err
 	}
+	if err := r.loop(); err != nil {
+		return nil, err
+	}
+	return r.finish()
+}
+
+// validate checks the config, lowers failure sugar and arms the checkpoint
+// plan. It mutates only r.
+func (r *run) validate() error {
+	cfg := &r.cfg
+	if cfg.Flows <= 0 {
+		return fmt.Errorf("hermes: Flows must be positive")
+	}
+	if cfg.Load <= 0 || cfg.Load > 1.5 {
+		return fmt.Errorf("hermes: Load %v out of range (0, 1.5]", cfg.Load)
+	}
+	if err := validateFailureSpec(cfg.Failure, cfg.Topology); err != nil {
+		return fmt.Errorf("hermes: invalid Failure: %w", err)
+	}
+	// Timed failure kinds are sugar for a Scenario; lower them here so the
+	// chaos runner is the single code path for everything time-varying.
+	r.spec, r.scenario = cfg.Failure, cfg.Scenario
+	switch r.spec.Kind {
+	case FailureFlap, FailureSpineDown, FailureLeafDown:
+		if r.scenario != nil {
+			return fmt.Errorf("hermes: Failure kind %q is scenario sugar and cannot combine with Config.Scenario; add it as a scenario event instead", r.spec.Kind)
+		}
+		if r.spec.Kind == FailureFlap {
+			r.scenario = flapScenario(r.spec, cfg.Topology)
+		} else {
+			r.scenario = switchDownScenario(r.spec)
+		}
+		r.spec = FailureSpec{}
+	}
+	if cfg.ctx == nil {
+		cfg.ctx = defaultRunContext()
+	}
+	if cfg.Checkpoint != nil {
+		p, err := newCkptPlan(cfg)
+		if err != nil {
+			return err
+		}
+		r.ckpt = p
+	}
+	return nil
+}
+
+// setup builds the whole simulation — fabric, scheme, transport, workload,
+// observability — without running any virtual time.
+func (r *run) setup() error {
+	cfg := &r.cfg
+	var err error
+	if cfg.WorkloadFile != "" {
+		r.dist, err = workload.LoadCDFFile(cfg.WorkloadFile)
+	} else {
+		r.dist, err = workload.ByName(cfg.Workload)
+	}
+	if err != nil {
+		return err
+	}
 	maxBytes := cfg.MaxFlowBytes
-	if maxBytes == 0 && dist == workload.DataMining {
+	if maxBytes == 0 && r.dist == workload.DataMining {
 		maxBytes = 35_000_000 // documented tail truncation
 	}
 	if maxBytes > 0 {
-		dist = dist.Truncate(maxBytes)
+		r.dist = r.dist.Truncate(maxBytes)
 	}
 
 	eng := sim.NewEngine()
+	r.eng = eng
 	if cfg.Checks {
 		eng.EnableChecks()
 	}
 	// Perf observatory: engine self-profiling plus a wall-clock Go runtime
-	// sampler for the duration of the run. The deferred Stop is idempotent
-	// and covers every error return.
-	var prof *sim.Profile
-	var sampler *perf.RuntimeSampler
-	var perfWallStart time.Time
+	// sampler for the duration of the run (runWith defers the Stop).
 	if cfg.Perf != nil {
-		prof = eng.EnableProfile(cfg.Perf.SampleEvery)
-		sampler = perf.StartRuntimeSampler(
+		r.prof = eng.EnableProfile(cfg.Perf.SampleEvery)
+		r.sampler = perf.StartRuntimeSampler(
 			time.Duration(cfg.Perf.RuntimeIntervalMs) * time.Millisecond)
-		defer sampler.Stop()
-		perfWallStart = time.Now()
+		r.perfWallStart = time.Now()
 	}
-	rng := sim.NewRNG(cfg.Seed)
-	nw, err := net.NewLeafSpine(eng, rng, cfg.Topology.toNet())
+	r.rng = sim.NewRNG(cfg.Seed)
+	r.nw, err = net.NewLeafSpine(eng, r.rng, cfg.Topology.toNet())
 	if err != nil {
-		return nil, err
+		return err
 	}
+	nw := r.nw
 
 	// Record the intact bisection first: the paper normalizes offered load
 	// to the healthy fabric even in asymmetric and failure runs.
-	baseBisection := nw.BisectionBps()
+	r.baseBisection = nw.BisectionBps()
 
 	// Topology-shaping failures must precede balancer construction so path
 	// sets and weights see the final fabric.
-	if err := injectTopologyFailure(nw, rng, spec); err != nil {
-		return nil, err
+	if err := injectTopologyFailure(nw, r.rng, r.spec); err != nil {
+		return err
 	}
 
-	var rd *telemetry.RunData
 	if cfg.Telemetry {
-		rd = telemetry.NewRunData(eng, sim.Time(cfg.TelemetryIntervalNs), cfg.AuditMaxEntries)
-		nw.AttachTelemetry(rd.Registry)
+		r.rd = telemetry.NewRunData(eng, sim.Time(cfg.TelemetryIntervalNs), cfg.AuditMaxEntries)
+		nw.AttachTelemetry(r.rd.Registry)
 	}
 
-	var flight *timeseries.Recorder
-	if cfg.TimeSeries || cfg.TimeSeriesWriter != nil || cfg.TimeSeriesCSV != nil ||
-		scenario != nil || cfg.Alerts != nil {
+	wantFlight := cfg.TimeSeries || cfg.TimeSeriesWriter != nil || cfg.TimeSeriesCSV != nil ||
+		r.scenario != nil || cfg.Alerts != nil
+	if wantFlight || cfg.forkScenario != nil {
 		tsCap := cfg.TimeSeriesCap
-		if tsCap == 0 && scenario != nil {
+		if tsCap == 0 && (r.scenario != nil || cfg.forkScenario != nil) {
 			// Recovery metrics need the pre-onset baseline and the reroute
 			// counters' pre-onset base to survive ring eviction; the stock
 			// cap covers only ~0.8 s of samples. Runs longer than ~3 s
 			// should still set TimeSeriesCap (or a coarser interval).
 			tsCap = scenarioDefaultCap
 		}
-		flight = timeseries.NewRecorder(eng,
+		r.flight = timeseries.NewRecorder(eng,
 			sim.Time(cfg.TimeSeriesIntervalNs), tsCap, 0)
-		nw.AttachFlightRecorder(flight)
+		nw.AttachFlightRecorder(r.flight)
 		// Expose the live recording on the status plane (/api/series).
-		st.AttachFlight(flight, runLabel)
+		r.st.AttachFlight(r.flight, r.runLabel)
 		if cfg.Perf != nil {
 			// Deterministic engine-health series (sim state sampled on the
 			// sim clock — identical across reruns, unlike the wall-clock
 			// runtime sampler, which never touches the recorder).
-			flight.Register("perf.engine.pending", func() float64 { return float64(eng.Pending()) })
-			flight.Register("perf.engine.fired", func() float64 { return float64(eng.Fired()) })
+			r.flight.Register("perf.engine.pending", func() float64 { return float64(eng.Pending()) })
+			r.flight.Register("perf.engine.fired", func() float64 { return float64(eng.Fired()) })
 		}
+		// A recorder that exists only for a forked-in scenario must not
+		// tick before the fork instant; see flightLate.
+		r.flightLate = !wantFlight
 	}
 
 	opts := transport.DefaultOptions()
@@ -602,7 +717,7 @@ func Run(cfg Config) (res *Result, err error) {
 	case "timely":
 		opts.Protocol = transport.Timely
 	default:
-		return nil, fmt.Errorf("hermes: unknown protocol %q", cfg.Protocol)
+		return fmt.Errorf("hermes: unknown protocol %q", cfg.Protocol)
 	}
 	switch {
 	case cfg.ReorderTimeoutNs > 0:
@@ -611,23 +726,30 @@ func Run(cfg Config) (res *Result, err error) {
 		opts.ReorderTimeout = 400 * sim.Microsecond
 	}
 
-	wiring, err := buildScheme(nw, rng, cfg, rd, flight)
-	if err != nil {
-		return nil, err
+	// A late recorder (created only for a forked-in scenario) must stay
+	// invisible to the scheme during replay: hooking Hermes into it changes
+	// monitor transition state the parent run never had, and the replay
+	// oracle would (rightly) refuse. applyFork attaches at the fork instant.
+	schemeFlight := r.flight
+	if r.flightLate {
+		schemeFlight = nil
 	}
-	var tracer *trace.Recorder
-	var delayAcct *net.DelayAccount
+	r.w, err = buildScheme(nw, r.rng, *cfg, r.rd, schemeFlight)
+	if err != nil {
+		return err
+	}
 	if cfg.TraceWriter != nil || cfg.PerfettoWriter != nil || cfg.Trace {
 		max := cfg.TraceMaxEvents
 		if max <= 0 {
 			max = 1_000_000
 		}
-		tracer = &trace.Recorder{MaxEvents: max}
-		inner := wiring.balancerFor
-		wiring.balancerFor = func(h *net.Host) transport.Balancer {
+		tracer := &trace.Recorder{MaxEvents: max}
+		r.tracer = tracer
+		inner := r.w.balancerFor
+		r.w.balancerFor = func(h *net.Host) transport.Balancer {
 			return trace.Wrap(inner(h), tracer, eng)
 		}
-		delayAcct = nw.EnableDelayAccount()
+		r.delayAcct = nw.EnableDelayAccount()
 		nw.SetTraceHooks(
 			func(p *net.Packet) {
 				if p.Kind == net.Data {
@@ -641,171 +763,223 @@ func Run(cfg Config) (res *Result, err error) {
 			},
 		)
 	}
-	tr := transport.New(nw, opts, wiring.balancerFor)
-	if rd != nil {
-		tr.AttachTelemetry(rd.Registry)
+	r.tr = transport.New(nw, opts, r.w.balancerFor)
+	if r.rd != nil {
+		r.tr.AttachTelemetry(r.rd.Registry)
 	}
-	tr.AttachFlightRecorder(flight)
-	wiring.afterTransport(nw, rng)
+	r.tr.AttachFlightRecorder(r.flight)
+	r.w.afterTransport(nw, r.rng)
 
 	// SLO watchdog: rules evaluate on the recorder's sample boundaries.
 	// Wildcard rules re-resolve lazily, so probes registered later (scheme
 	// census series) are still picked up.
-	var watchdog *alert.Evaluator
 	if cfg.Alerts != nil {
-		rules, err := cfg.Alerts.rules(flight, nw)
+		rules, err := cfg.Alerts.rules(r.flight, nw)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		watchdog, err = alert.New(flight, rules, cfg.Alerts.MaxEvents, 0)
+		r.watchdog, err = alert.New(r.flight, rules, cfg.Alerts.MaxEvents, 0)
 		if err != nil {
-			return nil, fmt.Errorf("hermes: %w", err)
+			return fmt.Errorf("hermes: %w", err)
 		}
 		// Expose live alerts on the status plane (/api/alerts, ALERTS).
-		st.AttachAlerts(watchdog, runLabel)
+		r.st.AttachAlerts(r.watchdog, r.runLabel)
 	}
 
 	// Switch-malfunction failures can be installed any time before traffic.
-	if err := injectSwitchFailure(nw, rng, spec); err != nil {
-		return nil, err
+	if err := injectSwitchFailure(nw, r.rng, r.spec); err != nil {
+		return err
 	}
 
 	// Scenario events ride the engine timeline: inject/clear fire at their
 	// scheduled virtual times, interleaved with traffic.
-	var runner *chaos.Runner
-	if scenario != nil {
-		cs, err := scenario.toChaos(cfg.Topology)
+	if r.scenario != nil {
+		cs, err := r.scenario.toChaos(cfg.Topology)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		runner = chaos.NewRunner(chaos.Env{Net: nw, Rng: rng}, cs)
-		if rd != nil {
-			// Stamp activations into the decision audit log so verdicts can
-			// be read against the failures that actually happened.
-			runner.OnEvent = func(a *chaos.Applied, cleared bool) {
-				e := telemetry.AuditEntry{
-					At: a.OnsetNs, Kind: telemetry.AuditChaos,
-					Reason: telemetry.ReasonInject,
-					Host:   -1, DstLeaf: -1, FromPath: -1, ToPath: -1,
-					Note: a.Name + " " + a.Label,
-				}
-				if cleared {
-					e.At, e.Reason = a.ClearNs, telemetry.ReasonClear
-				}
-				rd.Audit.Add(e)
-			}
-		}
-		if err := runner.Install(eng); err != nil {
-			return nil, fmt.Errorf("hermes: scenario %q: %w", scenario.Name, err)
+		r.runner = chaos.NewRunner(chaos.Env{Net: nw, Rng: r.rng}, cs)
+		r.attachRunnerAudit(r.runner)
+		if err := r.runner.Install(eng); err != nil {
+			return fmt.Errorf("hermes: scenario %q: %w", r.scenario.Name, err)
 		}
 	}
 
-	rec := &metrics.FCTRecorder{}
+	r.rec = &metrics.FCTRecorder{}
 	// Slowdown baseline: one base RTT plus line-rate serialization on the
 	// access link — the conventional "ideal FCT" model for this literature.
-	baseRTT := nw.ApproxBaseRTT()
-	hostRate := nw.Cfg.HostRateBps
-	rec.IdealFCT = func(size int64) sim.Time {
+	r.baseRTT = nw.ApproxBaseRTT()
+	r.hostRate = nw.Cfg.HostRateBps
+	baseRTT, hostRate := r.baseRTT, r.hostRate
+	r.rec.IdealFCT = func(size int64) sim.Time {
 		return baseRTT + sim.Time(size*8*sim.Second/hostRate)
 	}
-	var deliveredBytes int64
-	var flowsDone int64
-	tr.OnFlowDone = func(f *transport.Flow) {
-		deliveredBytes += f.Size
-		flowsDone++
-		rec.Record(f.Size, f.FCT())
+	r.tr.OnFlowDone = func(f *transport.Flow) {
+		r.deliveredBytes += f.Size
+		r.flowsDone++
+		r.rec.Record(f.Size, f.FCT())
 	}
 
-	gen := &workload.Generator{
-		Net: nw, Tr: tr, Rng: rng, Dist: dist,
+	r.gen = &workload.Generator{
+		Net: nw, Tr: r.tr, Rng: r.rng, Dist: r.dist,
 		Load: cfg.Load, MaxFlows: cfg.Flows,
-		BaseBisectionBps: baseBisection,
+		BaseBisectionBps: r.baseBisection,
 	}
-	var groups []*transport.MPTCPGroup
-	if cfg.Scheme == SchemeMPTCP {
-		k := cfg.MPTCPSubflows
+	r.installStartHooks()
+	r.gen.Start()
+	if r.rd != nil {
+		r.rd.Sweeper.Start()
+	}
+	if !r.flightLate {
+		r.flight.Start()
+	}
+
+	if cfg.MeasureVisibility {
+		r.vis = &metrics.VisibilitySampler{Tr: r.tr, Interval: sim.Millisecond}
+		r.vis.Start(eng)
+	}
+	return nil
+}
+
+// attachRunnerAudit stamps chaos activations into the decision audit log so
+// verdicts can be read against the failures that actually happened.
+func (r *run) attachRunnerAudit(runner *chaos.Runner) {
+	rd := r.rd
+	if rd == nil {
+		return
+	}
+	runner.OnEvent = func(a *chaos.Applied, cleared bool) {
+		e := telemetry.AuditEntry{
+			At: a.OnsetNs, Kind: telemetry.AuditChaos,
+			Reason: telemetry.ReasonInject,
+			Host:   -1, DstLeaf: -1, FromPath: -1, ToPath: -1,
+			Note: a.Name + " " + a.Label,
+		}
+		if cleared {
+			e.At, e.Reason = a.ClearNs, telemetry.ReasonClear
+		}
+		rd.Audit.Add(e)
+	}
+}
+
+// installStartHooks wires the generator's flow-start path for the current
+// scheme. Called at setup and again by applyFork when a what-if fork swaps
+// the scheme mid-run.
+func (r *run) installStartHooks() {
+	switch r.cfg.Scheme {
+	case SchemeMPTCP:
+		k := r.cfg.MPTCPSubflows
 		if k <= 0 {
 			k = 4
 		}
-		gen.StartFlowFn = func(src, dst int, size int64) {
-			g := tr.StartMPTCP(src, dst, size, k)
+		r.gen.StartFlowFn = func(src, dst int, size int64) {
+			g := r.tr.StartMPTCP(src, dst, size, k)
 			g.OnDone = func(g *transport.MPTCPGroup) {
-				deliveredBytes += g.Size
-				flowsDone++
-				rec.Record(g.Size, g.FCT())
+				r.deliveredBytes += g.Size
+				r.flowsDone++
+				r.rec.Record(g.Size, g.FCT())
 			}
-			groups = append(groups, g)
+			r.groups = append(r.groups, g)
 		}
-	}
-	var repGroups []*transport.RepFlowGroup
-	if cfg.Scheme == SchemeRepFlow {
-		thresh := cfg.RepFlowThresholdBytes
+	case SchemeRepFlow:
+		thresh := r.cfg.RepFlowThresholdBytes
 		if thresh <= 0 {
 			thresh = transport.DefaultRepFlowThreshold
 		}
-		attachRepFlowObservability(tr, rd, flight)
-		gen.StartFlowFn = func(src, dst int, size int64) {
+		attachRepFlowObservability(r.tr, r.rd, r.flight)
+		r.gen.StartFlowFn = func(src, dst int, size int64) {
 			if size >= thresh {
 				// Long flows run unreplicated and report through the
 				// ordinary tr.OnFlowDone path.
-				tr.StartFlow(src, dst, size)
+				r.tr.StartFlow(src, dst, size)
 				return
 			}
-			g := tr.StartRepFlow(src, dst, size)
+			g := r.tr.StartRepFlow(src, dst, size)
 			g.OnDone = func(g *transport.RepFlowGroup) {
-				deliveredBytes += g.Size
-				flowsDone++
-				rec.Record(g.Size, g.FCT())
+				r.deliveredBytes += g.Size
+				r.flowsDone++
+				r.rec.Record(g.Size, g.FCT())
 			}
-			repGroups = append(repGroups, g)
+			r.repGroups = append(r.repGroups, g)
 		}
+	default:
+		r.gen.StartFlowFn = nil
 	}
-	gen.Start()
-	if rd != nil {
-		rd.Sweeper.Start()
-	}
-	flight.Start()
+}
 
-	var vis *metrics.VisibilitySampler
-	if cfg.MeasureVisibility {
-		vis = &metrics.VisibilitySampler{Tr: tr, Interval: sim.Millisecond}
-		vis.Start(eng)
-	}
+// loop runs the simulation in scheduling slices until all generated flows
+// finish or the drain deadline after the last arrival passes. Checkpoint
+// instants and the replay horizon become additional slice boundaries, so the
+// boundary sequence is a pure function of the config — the property the
+// byte-identical resume contract rests on.
+func (r *run) loop() error {
+	cfg, eng, gen, tr := &r.cfg, r.eng, r.gen, r.tr
 
 	drain := cfg.DrainTimeoutNs
 	if drain <= 0 {
 		drain = 2 * sim.Second
 	}
 
-	// Run in slices until all generated flows finish or the drain deadline
-	// after the last arrival passes.
 	const slice = 10 * sim.Millisecond
-	var lastArrival sim.Time
 	for {
 		if cfg.ctx != nil {
 			if err := cfg.ctx.Err(); err != nil {
-				return nil, err
+				return r.interrupted(err)
 			}
 		}
-		eng.Run(eng.Now() + slice)
-		if sh != nil {
-			sh.Update(int64(eng.Now()), int64(gen.Started()), flowsDone, eng.Fired())
-			if rd != nil {
-				sh.SetMetrics(rd.Registry.Values())
+		// Loop-top state is the checkpoint instant for both scheduled and
+		// interrupt captures, so replay verification happens here too.
+		if r.replay != nil && !r.replay.done && eng.Now() >= r.replay.to {
+			if err := r.verifyReplay(); err != nil {
+				return err
 			}
 		}
-		if gen.Started() >= cfg.Flows {
-			if lastArrival == 0 {
-				lastArrival = eng.Now()
-			}
-			if tr.ActiveCount() == 0 || eng.Now() > lastArrival+drain {
+		replaying := r.replay != nil && !r.replay.done
+		if gen.Started() >= cfg.Flows && r.lastArrival == 0 {
+			r.lastArrival = eng.Now()
+		}
+		if !replaying {
+			if gen.Started() >= cfg.Flows &&
+				(tr.ActiveCount() == 0 || eng.Now() > r.lastArrival+drain) {
 				break
 			}
+			// now > 0 distinguishes a drained run from a pristine one whose
+			// t=0 events have not fired yet (an interrupt checkpoint can
+			// legitimately capture t=0).
+			if eng.Pending() == 0 && eng.Now() > 0 {
+				break
+			}
+		} else if eng.Pending() == 0 {
+			return fmt.Errorf("hermes: replay drained at t=%dns before reaching checkpoint instant t=%dns: checkpoint does not belong to this run",
+				int64(eng.Now()), int64(r.replay.to))
 		}
-		if eng.Pending() == 0 {
-			break
+		horizon := eng.Now() + slice
+		if replaying && r.replay.to < horizon {
+			horizon = r.replay.to
+		}
+		if r.ckpt != nil {
+			if due, ok := r.ckpt.nextDue(); ok && sim.Time(due) < horizon {
+				horizon = sim.Time(due)
+			}
+		}
+		eng.Run(horizon)
+		if err := r.fireDueCheckpoints(); err != nil {
+			return err
+		}
+		if r.sh != nil {
+			r.sh.Update(int64(eng.Now()), int64(gen.Started()), r.flowsDone, eng.Fired())
+			if r.rd != nil {
+				r.sh.SetMetrics(r.rd.Registry.Values())
+			}
 		}
 	}
+	return nil
+}
+
+// finish assembles the Result after the loop ends.
+func (r *run) finish() (*Result, error) {
+	cfg, eng, tr, rec := &r.cfg, r.eng, r.tr, r.rec
+	flight, rd, scenario, runner := r.flight, r.rd, r.scenario, r.runner
 
 	// Charge unfinished flows their elapsed time (Fig 17 accounting),
 	// in deterministic order.
@@ -820,18 +994,18 @@ func Run(cfg Config) (res *Result, err error) {
 	for _, f := range leftovers {
 		rec.RecordUnfinished(f.Size, eng.Now()-f.StartAt)
 	}
-	for _, g := range groups {
+	for _, g := range r.groups {
 		if !g.Done {
 			rec.RecordUnfinished(g.Size, eng.Now()-g.StartAt)
 		}
 	}
-	for _, g := range repGroups {
+	for _, g := range r.repGroups {
 		if !g.Done {
 			rec.RecordUnfinished(g.Size, eng.Now()-g.StartAt)
 		}
 	}
 
-	res = &Result{
+	res := &Result{
 		Scheme:      cfg.Scheme,
 		Workload:    cfg.Workload,
 		Load:        cfg.Load,
@@ -840,21 +1014,24 @@ func Run(cfg Config) (res *Result, err error) {
 		Events:      eng.Fired(),
 	}
 	if eng.Now() > 0 {
-		res.GoodputGbps = float64(deliveredBytes) * 8 / float64(eng.Now())
-		if baseBisection > 0 {
-			res.FabricUtilization = res.GoodputGbps * 1e9 / float64(baseBisection)
+		res.GoodputGbps = float64(r.deliveredBytes) * 8 / float64(eng.Now())
+		if r.baseBisection > 0 {
+			res.FabricUtilization = res.GoodputGbps * 1e9 / float64(r.baseBisection)
 		}
 	}
-	if vis != nil {
-		vis.Stop()
-		res.VisibilitySwitchPair = vis.SwitchPair()
-		res.VisibilityHostPair = vis.HostPair()
+	if r.vis != nil {
+		r.vis.Stop()
+		res.VisibilitySwitchPair = r.vis.SwitchPair()
+		res.VisibilityHostPair = r.vis.HostPair()
 	}
-	wiring.fillTelemetry(res, eng)
+	r.w.fillTelemetry(res, eng)
 	if cfg.Scheme == SchemeRepFlow {
 		res.ReplicatedFlows = tr.RepFlowsStarted
 		res.ReplicaWins = tr.ReplicaWins
 		res.RedundantBytes = tr.RedundantBytes
+	}
+	if r.ckpt != nil {
+		res.Checkpoints = r.ckpt.infos
 	}
 	if rd != nil {
 		// Stop sweeping and take one final snapshot so every counter's end
@@ -889,7 +1066,7 @@ func Run(cfg Config) (res *Result, err error) {
 				return nil, fmt.Errorf("hermes: scenario %q: %w",
 					scenario.Name, errors.Join(errs...))
 			}
-			trafficEnd := int64(lastArrival)
+			trafficEnd := int64(r.lastArrival)
 			if trafficEnd == 0 {
 				trafficEnd = int64(eng.Now())
 			}
@@ -900,7 +1077,7 @@ func Run(cfg Config) (res *Result, err error) {
 				smooth = chaos.DefaultSmooth
 			}
 			res.Recovery = chaos.Compute(flight, runner.Log, chaos.Options{
-				Cables: nw.Cables(), TrafficEndNs: trafficEnd,
+				Cables: r.nw.Cables(), TrafficEndNs: trafficEnd,
 				BaselineWindowNs: 10e6, Smooth: smooth,
 			})
 			res.Recovery.Scenario = scenario.Name
@@ -916,18 +1093,18 @@ func Run(cfg Config) (res *Result, err error) {
 			}
 		}
 	}
-	if watchdog != nil {
-		res.Alerts = watchdog.Report()
+	if r.watchdog != nil {
+		res.Alerts = r.watchdog.Report()
 	}
 	if cfg.Checks {
 		if vs := eng.Violations(); len(vs) > 0 {
 			return nil, fmt.Errorf("hermes: engine invariants violated (%d): %s", len(vs), vs[0])
 		}
-		if err := nw.CheckConservation(); err != nil {
+		if err := r.nw.CheckConservation(); err != nil {
 			return nil, err
 		}
 	}
-	if tracer != nil {
+	if tracer := r.tracer; tracer != nil {
 		tracer.CloseOpenSpans(eng.Now())
 		tracer.Meta = trace.Meta{
 			Schema:        trace.SchemaV2,
@@ -936,11 +1113,11 @@ func Run(cfg Config) (res *Result, err error) {
 			Load:          cfg.Load,
 			Seed:          cfg.Seed,
 			Failure:       string(cfg.Failure.Kind),
-			BaseRTTNs:     int64(baseRTT),
-			HostRateBps:   hostRate,
+			BaseRTTNs:     int64(r.baseRTT),
+			HostRateBps:   r.hostRate,
 			SimDurationNs: int64(eng.Now()),
 		}
-		tracer.SetFlowHops(delayAcct)
+		tracer.SetFlowHops(r.delayAcct)
 		tracer.Flight = flight
 		if rd != nil {
 			tracer.AnnotateFromAudit(rd.Audit.Entries())
@@ -964,10 +1141,10 @@ func Run(cfg Config) (res *Result, err error) {
 			res.TraceCounts["dropped"] = tracer.Dropped
 		}
 	}
-	if prof != nil {
-		stats := sampler.Stop()
-		res.Perf = perf.BuildRunReport(prof, int64(eng.Now()),
-			time.Since(perfWallStart).Nanoseconds(), stats)
+	if r.prof != nil {
+		stats := r.sampler.Stop()
+		res.Perf = perf.BuildRunReport(r.prof, int64(eng.Now()),
+			time.Since(r.perfWallStart).Nanoseconds(), stats)
 		obs := cfg.Perf.Observatory
 		if obs == nil {
 			obs = perf.Default()
@@ -976,10 +1153,10 @@ func Run(cfg Config) (res *Result, err error) {
 			obs.AddRun(res.Perf)
 			// Make the aggregate visible on the status plane (/api/perf,
 			// perf.* metrics family) when a tracker is watching.
-			st.AttachPerf(obs)
+			r.st.AttachPerf(obs)
 		}
 	}
-	if sh != nil {
+	if sh := r.sh; sh != nil {
 		sum := statusd.RunSummary{
 			Scheme: string(cfg.Scheme), Workload: cfg.Workload, Load: cfg.Load,
 			Seed: cfg.Seed, SimDurationNs: int64(eng.Now()), Events: eng.Fired(),

@@ -124,6 +124,33 @@ func (r *Runner) eventByName(name string) *Event {
 // ActiveCount returns the number of currently applied injections.
 func (r *Runner) ActiveCount() int { return len(r.active) }
 
+// Dump is the runner's checkpoint-visible state: how many timeline events
+// have fired, the full activation log so far, and the currently active
+// scopes sorted by name. Everything in it is deterministic per seed.
+type Dump struct {
+	FiredEvents int        `json:"fired_events"`
+	Log         []*Applied `json:"log"`
+	Active      []*Applied `json:"active"`
+}
+
+// Dump captures the runner state; read-only. Active entries alias the Log
+// records (same ClearNs=-1 view the recovery analysis sees).
+func (r *Runner) Dump() *Dump {
+	d := &Dump{}
+	for _, f := range r.fired {
+		if f {
+			d.FiredEvents++
+		}
+	}
+	d.Log = append(d.Log, r.Log...)
+	for _, rec := range r.Log {
+		if rec.ClearNs < 0 {
+			d.Active = append(d.Active, rec)
+		}
+	}
+	return d
+}
+
 // Finish collects the run-end errors: every one-shot event that never fired
 // was scheduled past the end of the run — a scenario bug the caller must
 // surface — plus any mid-run scheduling errors. Repeating events only need

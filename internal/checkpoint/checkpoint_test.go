@@ -1,0 +1,253 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleFile() *File {
+	state, err := EncodeState(&Snapshot{
+		Engine:    json.RawMessage(`{"now":5000000,"seq":42}`),
+		RNG:       json.RawMessage(`{"draws":17}`),
+		Net:       json.RawMessage(`{"injected":100,"delivered":99}`),
+		Transport: json.RawMessage(`{"next_flow_id":7}`),
+		Scheme:    json.RawMessage(`{"name":"hermes"}`),
+		Workload:  json.RawMessage(`{"started":12}`),
+		Chaos:     json.RawMessage(`{"active":[]}`),
+	})
+	if err != nil {
+		panic(err)
+	}
+	return &File{
+		Seed:      11,
+		SimTimeNs: 5e6,
+		Config:    json.RawMessage(`{"scheme":"hermes","flows":100}`),
+		State:     state,
+	}
+}
+
+// TestRoundTrip is the codec contract: Encode then Decode yields the same
+// envelope, and re-encoding is byte-identical (byte-stable format).
+func TestRoundTrip(t *testing.T) {
+	f := sampleFile()
+	b1, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Decode(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Seed != f.Seed || g.SimTimeNs != f.SimTimeNs {
+		t.Fatalf("decoded seed/time = %d/%d, want %d/%d", g.Seed, g.SimTimeNs, f.Seed, f.SimTimeNs)
+	}
+	if g.ConfigSHA != SHA(f.Config) || g.StateSHA != SHA(f.State) {
+		t.Fatal("decoded hashes do not match section contents")
+	}
+	b2, err := g.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatal("re-encoding a decoded checkpoint changed its bytes")
+	}
+	s, err := g.DecodeState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Diff(mustState(t, f), s); d != nil {
+		t.Fatalf("round-tripped state diverged: %+v", d)
+	}
+}
+
+func mustState(t *testing.T, f *File) *Snapshot {
+	t.Helper()
+	s, err := f.DecodeState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestWriteReadFile(t *testing.T) {
+	dir := t.TempDir()
+	f := sampleFile()
+	path := filepath.Join(dir, Filename(SHA(f.Config), f.SimTimeNs))
+	n, err := WriteFile(path, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(n) != st.Size() {
+		t.Fatalf("WriteFile reported %d bytes, file has %d", n, st.Size())
+	}
+	g, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.SimTimeNs != f.SimTimeNs {
+		t.Fatalf("read back t=%d, want %d", g.SimTimeNs, f.SimTimeNs)
+	}
+	// No temp droppings left behind by the atomic write.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries after one WriteFile, want 1", len(entries))
+	}
+}
+
+// TestTruncatedRejected: every strict prefix of a valid file must decode to
+// a typed error, never succeed and never panic. (The final-newline-stripped
+// prefix is the one complete-JSON exception — still a valid checkpoint.)
+func TestTruncatedRejected(t *testing.T) {
+	b, err := sampleFile().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(b)-1; cut++ {
+		_, err := Decode(b[:cut])
+		if err == nil {
+			t.Fatalf("truncation at %d/%d decoded successfully", cut, len(b))
+		}
+		var ce *CorruptError
+		if !errors.Is(err, ErrTruncated) && !errors.As(err, &ce) {
+			t.Fatalf("truncation at %d: untyped error %T: %v", cut, err, err)
+		}
+	}
+	if _, err := Decode(nil); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("empty input: err = %v, want ErrTruncated", err)
+	}
+}
+
+// TestCorruptionRejected: flipped bytes must be caught — by the JSON parser
+// or by the integrity hash — with a typed error.
+func TestCorruptionRejected(t *testing.T) {
+	b, err := sampleFile().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, len(b) / 4, len(b) / 2, 3 * len(b) / 4, len(b) - 3} {
+		mut := append([]byte(nil), b...)
+		mut[cut] ^= 0x20
+		f, err := Decode(mut)
+		if err == nil {
+			// A flip inside an ignorable region (e.g. turning a space) can
+			// legitimately survive only if all hashes still verify.
+			if SHA(f.Config) != f.ConfigSHA || SHA(f.State) != f.StateSHA {
+				t.Fatalf("flip at %d accepted with broken hashes", cut)
+			}
+			continue
+		}
+		var ce *CorruptError
+		var ve *VersionError
+		if !errors.As(err, &ce) && !errors.As(err, &ve) && !errors.Is(err, ErrTruncated) {
+			t.Fatalf("flip at %d: untyped error %T: %v", cut, err, err)
+		}
+	}
+}
+
+func TestVersionSkewRejected(t *testing.T) {
+	b, err := sampleFile().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	skew := strings.Replace(string(b), `"version":1`, `"version":2`, 1)
+	_, err = Decode([]byte(skew))
+	var ve *VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("version skew: err = %v, want *VersionError", err)
+	}
+	if ve.Got != 2 || ve.Want != Version {
+		t.Fatalf("VersionError = %+v", ve)
+	}
+
+	foreign := strings.Replace(string(b), `"magic":"hermes-ckpt"`, `"magic":"other-fmt"`, 1)
+	var ce *CorruptError
+	if _, err := Decode([]byte(foreign)); !errors.As(err, &ce) {
+		t.Fatalf("foreign magic: err = %v, want *CorruptError", err)
+	}
+}
+
+func TestHashMismatchRejected(t *testing.T) {
+	f := sampleFile()
+	b, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap one state byte in a way that keeps the JSON valid: 17 -> 18.
+	tampered := strings.Replace(string(b), `"draws":17`, `"draws":18`, 1)
+	if tampered == string(b) {
+		t.Fatal("tamper target not found in encoded form")
+	}
+	var ce *CorruptError
+	if _, err := Decode([]byte(tampered)); !errors.As(err, &ce) {
+		t.Fatalf("tampered state: err = %v, want *CorruptError (hash mismatch)", err)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a := mustState(t, sampleFile())
+	b := mustState(t, sampleFile())
+	if d := Diff(a, b); d != nil {
+		t.Fatalf("identical snapshots diff: %+v", d)
+	}
+	b.RNG = json.RawMessage(`{"draws":99}`)
+	b.Net = json.RawMessage(`{"injected":1,"delivered":1}`)
+	d := Diff(a, b)
+	if len(d) != 2 || d[0].Section != "net" || d[1].Section != "rng" {
+		t.Fatalf("diff = %+v, want [net rng]", d)
+	}
+	err := &StateMismatchError{SimTimeNs: 5e6, Sections: d}
+	if !strings.Contains(err.Error(), "net rng") {
+		t.Fatalf("mismatch error %q does not name sections", err)
+	}
+}
+
+func TestLatest(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Latest(dir); err == nil {
+		t.Fatal("Latest on empty dir succeeded")
+	}
+	for _, at := range []int64{3e6, 9e6, 6e6} {
+		f := sampleFile()
+		f.SimTimeNs = at
+		if _, err := WriteFile(filepath.Join(dir, Filename(SHA(f.Config), at)), f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A foreign file must be skipped, not fatal.
+	if err := os.WriteFile(filepath.Join(dir, "junk.ckpt"), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.SimTimeNs != 9e6 {
+		t.Fatalf("Latest picked t=%d, want 9e6", f.SimTimeNs)
+	}
+}
+
+// TestFilenameOrder: lexicographic file-name order equals time order, the
+// property ls-based tooling relies on.
+func TestFilenameOrder(t *testing.T) {
+	sha := SHA([]byte("cfg"))
+	a := Filename(sha, 999)
+	b := Filename(sha, 20e6)
+	if !(a < b) {
+		t.Fatalf("filenames out of order: %q !< %q", a, b)
+	}
+}

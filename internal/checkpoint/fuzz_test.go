@@ -1,0 +1,111 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode is the crash-resistance contract for the codec: Decode must
+// never panic on arbitrary bytes, must only return the typed error taxonomy
+// (ErrTruncated, *CorruptError, *VersionError), and anything it accepts must
+// re-encode byte-identically after one decode-encode normalization — the
+// "never a silently wrong resume" half of the satellite requirement.
+func FuzzDecode(f *testing.F) {
+	valid, err := sampleFile().Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte(nil))
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"magic":"hermes-ckpt","version":9}`))
+	f.Add([]byte(strings.Replace(string(valid), `"version":1`, `"version":7`, 1)))
+	f.Add([]byte(`{"magic":"hermes-ckpt","version":1,"config":{},"state":{}}`))
+	f.Add([]byte("not json at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := Decode(data)
+		if err != nil {
+			var ce *CorruptError
+			var ve *VersionError
+			if !errors.Is(err, ErrTruncated) && !errors.As(err, &ce) && !errors.As(err, &ve) {
+				t.Fatalf("untyped decode error %T: %v", err, err)
+			}
+			return
+		}
+		// Accepted input: the envelope must be internally consistent...
+		if ck.Magic != Magic || ck.Version != Version {
+			t.Fatalf("accepted envelope with magic=%q version=%d", ck.Magic, ck.Version)
+		}
+		if SHA(ck.Config) != ck.ConfigSHA || SHA(ck.State) != ck.StateSHA {
+			t.Fatal("accepted envelope whose hashes do not verify")
+		}
+		// ...and idempotent under the canonicalizing round trip: once
+		// normalized by Encode, Decode+Encode is a fixed point.
+		b1, err := ck.Encode()
+		if err != nil {
+			t.Fatalf("re-encode of accepted envelope failed: %v", err)
+		}
+		ck2, err := Decode(b1)
+		if err != nil {
+			t.Fatalf("canonical bytes rejected: %v", err)
+		}
+		b2, err := ck2.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b1) != string(b2) {
+			t.Fatal("canonical encoding is not a fixed point")
+		}
+	})
+}
+
+// FuzzStateRoundTrip: restore(write(state)) is byte-identical for arbitrary
+// section contents (valid JSON or not — raw sections are carried opaquely,
+// so even hostile section bytes must round-trip exactly or be rejected).
+func FuzzStateRoundTrip(f *testing.F) {
+	f.Add(`{"now":1}`, `{"draws":2}`, `{"x":3}`, `{"y":4}`, `{"z":5}`, `{"w":6}`, `{"c":7}`)
+	f.Add(`{}`, `{}`, `{}`, `{}`, ``, `{}`, ``)
+	f.Add(`[1,2,3]`, `"s"`, `null`, `0`, `true`, `-1.5e3`, `[[]]`)
+	f.Fuzz(func(t *testing.T, eng, rng, nw, tr, sch, wl, ch string) {
+		s := &Snapshot{
+			Engine:    json.RawMessage(eng),
+			RNG:       json.RawMessage(rng),
+			Net:       json.RawMessage(nw),
+			Transport: json.RawMessage(tr),
+			Scheme:    json.RawMessage(sch),
+			Workload:  json.RawMessage(wl),
+			Chaos:     json.RawMessage(ch),
+		}
+		state, err := EncodeState(s)
+		if err != nil {
+			return // non-JSON section bytes: rejection is the correct outcome
+		}
+		ck := &File{Seed: 1, SimTimeNs: 1, Config: json.RawMessage(`{}`), State: state}
+		b, err := ck.Encode()
+		if err != nil {
+			t.Fatalf("encode after EncodeState accepted sections: %v", err)
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("decode of fresh encode: %v", err)
+		}
+		s2, err := got.DecodeState()
+		if err != nil {
+			t.Fatalf("state decode of fresh encode: %v", err)
+		}
+		// Byte identity section by section, modulo JSON normalization done
+		// by EncodeState's single marshal (compact whitespace): re-encoding
+		// the decoded snapshot must reproduce the stored state bytes.
+		state2, err := EncodeState(s2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(state2) != string(state) {
+			t.Fatalf("state round trip changed bytes:\n%s\n%s", state, state2)
+		}
+	})
+}

@@ -71,6 +71,8 @@ type Monitor struct {
 	// can change it and by periodic ScanTransitions sweeps for quarantine
 	// expiry. One nil check per intake event when disabled.
 	OnTransition func(dstLeaf, path int, from, to PathType, cause string)
+
+	stopped bool
 }
 
 // NewMonitor builds the monitor for one source leaf.
@@ -90,9 +92,21 @@ func NewMonitor(nw *net.Network, srcLeaf int, p Params) *Monitor {
 
 func (m *Monitor) scheduleWindow() {
 	m.Net.Eng.ScheduleKind(m.P.Tau, sim.KindProbe, func() {
+		if m.stopped {
+			return
+		}
 		m.rollWindow()
 		m.scheduleWindow()
 	})
+}
+
+// Stop retires the monitor: its periodic window roll stops rescheduling and
+// transition scans go quiet. A what-if fork calls this on the outgoing
+// scheme's monitors so the replaced Hermes instance leaves no periodic
+// machinery behind.
+func (m *Monitor) Stop() {
+	m.stopped = true
+	m.OnTransition = nil
 }
 
 // rollWindow evaluates the per-Tau failure condition of Algorithm 1 line 8:

@@ -31,6 +31,8 @@ type Prober struct {
 	ProbesSent uint64
 	ProbeBytes uint64
 	ProbesLost uint64
+
+	stopped bool
 }
 
 type pendingProbe struct {
@@ -89,7 +91,25 @@ func InstallProbeResponders(nw *net.Network) {
 	}
 }
 
+// PendingProbes returns the number of in-flight probe measurements.
+func (p *Prober) PendingProbes() int { return len(p.pending) }
+
+// Stop retires the prober: the periodic tick stops rescheduling and any
+// in-flight probe timeouts resolve as no-ops. A what-if fork calls this on
+// the outgoing scheme's probers; echo handlers stay installed but find no
+// pending entries.
+func (p *Prober) Stop() {
+	p.stopped = true
+	for id, pp := range p.pending {
+		pp.timer.Cancel()
+		delete(p.pending, id)
+	}
+}
+
 func (p *Prober) tick() {
+	if p.stopped {
+		return
+	}
 	now := p.Mon.Net.Eng.Now()
 	nw := p.Mon.Net
 	for d := 0; d < nw.Cfg.Leaves; d++ {

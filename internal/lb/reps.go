@@ -209,6 +209,47 @@ func (r *Reps) CachedEntropies() int {
 	return total
 }
 
+// Entropies returns the cached entropies for one destination leaf in FIFO
+// order (oldest first) — the checkpoint-comparable view of the cache, and
+// the exact-restore contract surface for chaos injectors.
+func (c *EntropyCache) Entropies() []int {
+	out := make([]int, 0, c.n)
+	for i := 0; i < c.n; i++ {
+		out = append(out, c.buf[(c.head+i)%len(c.buf)])
+	}
+	return out
+}
+
+// RepsDump is one REPS balancer's checkpoint-visible state: the outcome
+// counters, the round-robin cursor, and every destination cache's contents
+// in FIFO order (nil for never-touched destinations).
+type RepsDump struct {
+	RecycledSprays uint64  `json:"recycled_sprays"`
+	FreshSprays    uint64  `json:"fresh_sprays"`
+	Evictions      uint64  `json:"evictions"`
+	StaleSkips     uint64  `json:"stale_skips"`
+	RR             uint64  `json:"rr"`
+	Caches         [][]int `json:"caches"` // indexed by destination leaf
+}
+
+// Dump captures the balancer state; read-only.
+func (r *Reps) Dump() *RepsDump {
+	d := &RepsDump{
+		RecycledSprays: r.RecycledSprays,
+		FreshSprays:    r.FreshSprays,
+		Evictions:      r.Evictions,
+		StaleSkips:     r.StaleSkips,
+		RR:             r.rr,
+		Caches:         make([][]int, len(r.perDst)),
+	}
+	for dst, c := range r.perDst {
+		if c != nil {
+			d.Caches[dst] = c.Entropies()
+		}
+	}
+	return d
+}
+
 // SprayCounts returns copies of the per-path recycled and fresh spray
 // counters (indexed by path).
 func (r *Reps) SprayCounts() (recycled, fresh []uint64) {

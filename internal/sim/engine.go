@@ -114,6 +114,28 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending returns the number of scheduled (possibly cancelled) events.
 func (e *Engine) Pending() int { return len(e.events) }
 
+// Seq returns the next scheduling sequence number. Together with Now, Fired
+// and Pending it fingerprints the engine's position in a run: two engines
+// driven by the same deterministic program agree on all four at every
+// instant, which is what checkpoint verification checks.
+func (e *Engine) Seq() uint64 { return e.seq }
+
+// PendingCensus returns the number of queued events per profiling kind,
+// plus the count of cancelled events awaiting lazy removal — a structural
+// fingerprint of the event queue that is invariant under heap layout.
+// Scheduling and cancellation are both deterministic, so two engines driven
+// by the same program agree on the census at every instant.
+func (e *Engine) PendingCensus() (byKind [NumKinds]int, cancelled int) {
+	for _, ev := range e.events {
+		if ev.state == stateCanceled {
+			cancelled++
+			continue
+		}
+		byKind[ev.kind]++
+	}
+	return byKind, cancelled
+}
+
 // FreeEvents returns the current size of the event free list (allocation
 // instrumentation for tests and benchmarks).
 func (e *Engine) FreeEvents() int { return len(e.free) }

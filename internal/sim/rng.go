@@ -4,9 +4,13 @@ import "math/rand"
 
 // RNG wraps math/rand with a deterministic seed and the handful of sampling
 // helpers the simulator needs. Every randomized component draws from one RNG
-// owned by the experiment so that a seed fully determines a run.
+// owned by the experiment so that a seed fully determines a run. The draw
+// counter tracks the stream position: two RNGs with the same seed and the
+// same draw count are in identical states, which lets a checkpoint verify a
+// replayed RNG without exposing math/rand internals.
 type RNG struct {
-	r *rand.Rand
+	r     *rand.Rand
+	draws uint64
 }
 
 // NewRNG returns a deterministic generator for the given seed.
@@ -14,18 +18,32 @@ func NewRNG(seed int64) *RNG {
 	return &RNG{r: rand.New(rand.NewSource(seed))}
 }
 
+// Draws returns the number of sampling calls made so far — the RNG stream
+// position.
+func (g *RNG) Draws() uint64 { return g.draws }
+
 // Intn returns a uniform int in [0, n). n must be positive.
-func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+func (g *RNG) Intn(n int) int {
+	g.draws++
+	return g.r.Intn(n)
+}
 
 // Int63 returns a uniform non-negative int64.
-func (g *RNG) Int63() int64 { return g.r.Int63() }
+func (g *RNG) Int63() int64 {
+	g.draws++
+	return g.r.Int63()
+}
 
 // Float64 returns a uniform float64 in [0, 1).
-func (g *RNG) Float64() float64 { return g.r.Float64() }
+func (g *RNG) Float64() float64 {
+	g.draws++
+	return g.r.Float64()
+}
 
 // Exp returns an exponentially distributed duration with the given mean,
 // used for Poisson inter-arrival times. The result is at least 1 ns.
 func (g *RNG) Exp(mean float64) Time {
+	g.draws++
 	v := g.r.ExpFloat64() * mean
 	if v < 1 {
 		v = 1
@@ -39,6 +57,7 @@ func (g *RNG) TwoDistinct(n int) (int, int) {
 	if n < 2 {
 		panic("sim: TwoDistinct requires n >= 2")
 	}
+	g.draws++
 	a := g.r.Intn(n)
 	b := g.r.Intn(n - 1)
 	if b >= a {
@@ -48,4 +67,7 @@ func (g *RNG) TwoDistinct(n int) (int, int) {
 }
 
 // Perm returns a random permutation of [0, n).
-func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+func (g *RNG) Perm(n int) []int {
+	g.draws++
+	return g.r.Perm(n)
+}

@@ -57,6 +57,7 @@ func Handler(t *Tracker, pollInterval time.Duration) http.Handler {
 		fmt.Fprintln(w, "GET /api/alerts         SLO watchdog state (?since=N for event deltas)")
 		fmt.Fprintln(w, "GET /api/alerts/stream  alert lifecycle edges as live SSE deltas")
 		fmt.Fprintln(w, "GET /api/perf           performance observatory summary (runs with Config.Perf)")
+		fmt.Fprintln(w, "GET /api/checkpoints    checkpoint files written so far (runs with Config.Checkpoint)")
 		fmt.Fprintln(w, "GET /metrics            Prometheus text exposition (includes ALERTS when armed)")
 	})
 	mux.HandleFunc("/api/progress", func(w http.ResponseWriter, r *http.Request) {
@@ -100,6 +101,15 @@ func Handler(t *Tracker, pollInterval time.Duration) http.Handler {
 	})
 	mux.HandleFunc("/api/alerts/stream", func(w http.ResponseWriter, r *http.Request) {
 		streamAlerts(w, r, t, pollInterval)
+	})
+	mux.HandleFunc("/api/checkpoints", func(w http.ResponseWriter, r *http.Request) {
+		// Always a JSON array (possibly empty): an operator polling a soak
+		// run shouldn't have to distinguish "none yet" from "not armed".
+		cks := t.Checkpoints()
+		if cks == nil {
+			cks = []CheckpointEvent{}
+		}
+		writeJSON(w, cks)
 	})
 	mux.HandleFunc("/api/perf", func(w http.ResponseWriter, r *http.Request) {
 		obs := t.Perf()

@@ -131,6 +131,7 @@ type Tracker struct {
 	alerts      *alert.Evaluator
 	alertsLabel string
 	alertsGen   uint64 // bumped per attach so streams notice replacement
+	checkpoints []CheckpointEvent
 }
 
 // NewTracker builds an enabled tracker stamped with the build manifest.
@@ -345,6 +346,40 @@ func (t *Tracker) Alerts() (*alert.Evaluator, string, uint64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.alerts, t.alertsLabel, t.alertsGen
+}
+
+// CheckpointEvent is one checkpoint write as /api/checkpoints reports it:
+// which run wrote it, whether it was scheduled or an interrupt capture, the
+// virtual instant, and where the file landed.
+type CheckpointEvent struct {
+	Run       string `json:"run"`
+	Kind      string `json:"kind"` // "scheduled" or "interrupt"
+	SimTimeNs int64  `json:"sim_time_ns"`
+	Path      string `json:"path"`
+	Bytes     int    `json:"bytes"`
+	WallUnix  int64  `json:"wall_unix"`
+}
+
+// RecordCheckpoint appends one checkpoint write to the process log served by
+// /api/checkpoints.
+func (t *Tracker) RecordCheckpoint(ev CheckpointEvent) {
+	if t == nil {
+		return
+	}
+	ev.WallUnix = time.Now().Unix()
+	t.mu.Lock()
+	t.checkpoints = append(t.checkpoints, ev)
+	t.mu.Unlock()
+}
+
+// Checkpoints returns a copy of the checkpoint-write log.
+func (t *Tracker) Checkpoints() []CheckpointEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]CheckpointEvent(nil), t.checkpoints...)
 }
 
 // Flight returns the currently attached recording, its label and an attach

@@ -259,6 +259,25 @@ func TestHandlerEndpoints(t *testing.T) {
 		t.Fatalf("series without recorder: status %d, want 404", resp.StatusCode)
 	}
 
+	// /api/checkpoints is an empty array before any write, never a 404 —
+	// polling operators shouldn't have to special-case "not armed yet".
+	var cks []CheckpointEvent
+	getJSON(t, srv, "/api/checkpoints", &cks)
+	if cks == nil || len(cks) != 0 {
+		t.Fatalf("checkpoints before any write: %#v, want []", cks)
+	}
+	tr.RecordCheckpoint(CheckpointEvent{
+		Run: "leaf/seed 1", Kind: "scheduled", SimTimeNs: 5_000_000,
+		Path: "/tmp/ckpt-abc-t000005000000.ckpt", Bytes: 1234,
+	})
+	getJSON(t, srv, "/api/checkpoints", &cks)
+	if len(cks) != 1 || cks[0].Kind != "scheduled" || cks[0].SimTimeNs != 5_000_000 {
+		t.Fatalf("checkpoints after write: %+v", cks)
+	}
+	if cks[0].WallUnix == 0 {
+		t.Fatalf("checkpoint event not wall-stamped: %+v", cks[0])
+	}
+
 	resp, err = srv.Client().Get(srv.URL + "/nope")
 	if err != nil {
 		t.Fatal(err)

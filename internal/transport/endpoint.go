@@ -141,6 +141,14 @@ type Endpoint struct {
 // Balancer returns the host's balancer (exposed for tests and ablation).
 func (ep *Endpoint) Balancer() Balancer { return ep.bal }
 
+// SetBalancer swaps the host's balancer mid-run — the steering half of a
+// what-if fork: replay a checkpointed run to its capture instant, then hand
+// every endpoint a different scheme's balancer. In-flight flows keep their
+// window and path state; the new balancer simply starts receiving their
+// SelectPath/OnAck callbacks (schemes assign path state lazily, so a
+// mid-life adoption is indistinguishable from a fresh flow to them).
+func (ep *Endpoint) SetBalancer(b Balancer) { ep.bal = b }
+
 // Host returns the attached host.
 func (ep *Endpoint) Host() *net.Host { return ep.host }
 

@@ -94,28 +94,21 @@ func RunSeedsOpts(ctx context.Context, cfg Config, seeds []int64, opts ParallelO
 		return nil, SeedStats{}, fmt.Errorf("hermes: RunSeeds needs at least one seed")
 	}
 	results, err := RunParallelOpts(ctx, cfg, seeds, opts)
-	if err != nil {
+	if err != nil && results == nil {
 		return nil, SeedStats{}, err
 	}
-	var sum, sumSq float64
-	st := SeedStats{N: len(seeds), Min: math.Inf(1), Max: math.Inf(-1)}
+	// On pure cancellation the pool hands back what finished (nil for the
+	// rest); the stats then cover completed seeds only and SeedStats.N says
+	// how many that was. err is still returned so callers can flag the
+	// report as partial.
+	var xs []float64
 	for _, res := range results {
-		m := res.FCT.Overall.MeanMs()
-		sum += m
-		sumSq += m * m
-		if m < st.Min {
-			st.Min = m
+		if res == nil {
+			continue
 		}
-		if m > st.Max {
-			st.Max = m
-		}
+		xs = append(xs, res.FCT.Overall.MeanMs())
 	}
-	st.Mean = sum / float64(len(seeds))
-	variance := sumSq/float64(len(seeds)) - st.Mean*st.Mean
-	if variance > 0 {
-		st.StdDev = math.Sqrt(variance)
-	}
-	return results, st, nil
+	return results, newSeedStats(xs), err
 }
 
 // RunParallel executes one experiment per seed on a worker pool bounded by
@@ -135,7 +128,10 @@ func RunParallel(cfg Config, seeds []int64) ([]*Result, error) {
 //     that run, so telemetry from concurrent seeds never mixes.
 //   - Cancellation: cancelling ctx aborts queued seeds and interrupts
 //     in-flight simulations at their next scheduling slice; the first real
-//     simulation error cancels the rest of the sweep.
+//     simulation error cancels the rest of the sweep and returns nil results.
+//     A pure cancellation returns the completed results (nil for unfinished
+//     slots) together with the cancellation error, so partial sweeps can
+//     still be reported.
 func RunParallelOpts(ctx context.Context, cfg Config, seeds []int64, opts ParallelOptions) ([]*Result, error) {
 	if err := checkPoolable(cfg); err != nil {
 		return nil, err
@@ -223,7 +219,11 @@ feed:
 	wg.Wait()
 
 	// Report the first real simulation failure (deterministically, by seed
-	// order) in preference to the cancellations it triggered in peers.
+	// order) in preference to the cancellations it triggered in peers. A
+	// pure cancellation — the operator hit Ctrl-C, nothing actually broke —
+	// returns the completed results ALONGSIDE the error (nil slots for runs
+	// that never finished), so callers can flush a partial report instead
+	// of throwing away every finished simulation.
 	var firstCancel error
 	for _, err := range errs {
 		switch {
@@ -236,13 +236,11 @@ feed:
 			return nil, err
 		}
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
+	if firstCancel == nil {
+		// Cancelled between runs: no worker saw it, but queued seeds never ran.
+		firstCancel = ctx.Err()
 	}
-	if firstCancel != nil {
-		return nil, firstCancel
-	}
-	return results, nil
+	return results, firstCancel
 }
 
 // Seeds returns [base, base+1, ..., base+n-1], a convenience for RunSeeds.
@@ -367,6 +365,11 @@ type ChaosMatrix struct {
 	// alert columns of Cells are meaningful only when true).
 	AlertsArmed bool `json:"alerts_armed,omitempty"`
 
+	// Partial marks a matrix aggregated from an interrupted sweep: cells
+	// cover only the runs that finished before cancellation (Runs below the
+	// seed count, possibly zero), so cross-cell comparisons are suspect.
+	Partial bool `json:"partial,omitempty"`
+
 	// BaselineP99Ms is each scheme's clean-run p99 (mean over seeds), the
 	// denominator of every inflation figure.
 	BaselineP99Ms map[Scheme]float64 `json:"baseline_p99_ms"`
@@ -389,7 +392,9 @@ func (m *ChaosMatrix) Cell(scheme Scheme, scenario string) *ChaosCell {
 // per scheme — on a single worker pool, and aggregates each cell's recovery
 // metrics (detection and reroute latency, goodput-dip depth and cost) and
 // FCT inflation over the clean baseline. Deterministic: same config, same
-// matrix, regardless of worker count.
+// matrix, regardless of worker count. When the context is cancelled mid-sweep
+// it returns the matrix aggregated from the completed runs, marked Partial,
+// together with the cancellation error.
 func RunChaosMatrix(ctx context.Context, mc ChaosMatrixConfig) (*ChaosMatrix, error) {
 	if len(mc.Schemes) == 0 || len(mc.Scenarios) == 0 || len(mc.Seeds) == 0 {
 		return nil, fmt.Errorf("hermes: chaos matrix needs schemes, scenarios and seeds (have %d/%d/%d)",
@@ -443,9 +448,9 @@ func RunChaosMatrix(ctx context.Context, mc ChaosMatrixConfig) (*ChaosMatrix, er
 	statusFor(&mc.Base).Note(fmt.Sprintf(
 		"chaos matrix: %d schemes x %d scenarios x %d seeds (+clean baselines)",
 		len(mc.Schemes), len(mc.Scenarios), len(mc.Seeds)))
-	results, err := runConfigsPool(ctx, cfgs, labels, mc.Options)
-	if err != nil {
-		return nil, err
+	results, poolErr := runConfigsPool(ctx, cfgs, labels, mc.Options)
+	if poolErr != nil && results == nil {
+		return nil, poolErr
 	}
 
 	// Flush the per-run alert logs in slot order after the pool drains:
@@ -453,7 +458,7 @@ func RunChaosMatrix(ctx context.Context, mc ChaosMatrixConfig) (*ChaosMatrix, er
 	// independent of worker count and scheduling.
 	if mc.Alerts != nil && mc.AlertLog != nil {
 		for i, res := range results {
-			if res.Alerts == nil {
+			if res == nil || res.Alerts == nil {
 				continue
 			}
 			if err := alert.WriteRunLog(mc.AlertLog, labels[i], res.Alerts); err != nil {
@@ -465,15 +470,20 @@ func RunChaosMatrix(ctx context.Context, mc ChaosMatrixConfig) (*ChaosMatrix, er
 	m := &ChaosMatrix{
 		Schemes: mc.Schemes, Seeds: mc.Seeds,
 		AlertsArmed:   mc.Alerts != nil,
+		Partial:       poolErr != nil,
 		BaselineP99Ms: make(map[Scheme]float64, len(mc.Schemes)),
 	}
 	for _, sc := range mc.Scenarios {
 		m.Scenarios = append(m.Scenarios, sc.Name)
 	}
 
-	// Group results back into cells.
+	// Group results back into cells. Interrupted sweeps leave nil slots;
+	// the matrix aggregates whatever finished.
 	byCell := make(map[[2]int][]*Result)
 	for i, res := range results {
+		if res == nil {
+			continue
+		}
 		byCell[[2]int{slots[i].scheme, slots[i].scenario}] = append(
 			byCell[[2]int{slots[i].scheme, slots[i].scenario}], res)
 	}
@@ -547,7 +557,9 @@ func RunChaosMatrix(ctx context.Context, mc ChaosMatrixConfig) (*ChaosMatrix, er
 		}
 	}
 	m.rank()
-	return m, nil
+	// A cancelled sweep yields BOTH the partial matrix and the error: the
+	// caller decides whether to render it (marked Partial) before exiting.
+	return m, poolErr
 }
 
 // crossCheckAlertDetect reconciles the two independent detection planes of

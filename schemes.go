@@ -2,6 +2,7 @@ package hermes
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/hermes-repro/hermes/internal/core"
 	"github.com/hermes-repro/hermes/internal/lb"
@@ -17,6 +18,20 @@ type wiring struct {
 	balancerFor    func(h *net.Host) transport.Balancer
 	afterTransport func(nw *net.Network, rng *sim.RNG)
 	fillTelemetry  func(res *Result, eng *sim.Engine)
+
+	// dumpState returns the scheme's checkpoint-visible control state (nil =
+	// the scheme keeps no state beyond what the fabric and transport dumps
+	// already cover). Everything returned must marshal deterministically.
+	dumpState func() any
+	// stop retires the scheme's periodic machinery (monitor windows, probe
+	// loops) when a what-if fork replaces it mid-run. nil = nothing to stop.
+	stop func()
+	// attachFlight registers the scheme's flight-recorder series and hooks.
+	// Kept separate from construction because hooking a scheme into the
+	// recorder can change checkpoint-visible state (Hermes transition
+	// tracking): a fork replay builds the scheme flight-blind to match the
+	// parent run and attaches only at the fork instant. nil = no series.
+	attachFlight func(*timeseries.Recorder)
 }
 
 func noAfter(*net.Network, *sim.RNG)   {}
@@ -169,11 +184,14 @@ func buildReps(nw *net.Network, rd *telemetry.RunData,
 		rd.Registry.GaugeFunc("reps.cached_entropies", cached)
 		rd.Registry.GaugeFunc("reps.cache_hit_rate", hitRate)
 	}
+	w.attachFlight = func(f *timeseries.Recorder) {
+		f.Register("reps.recycled_sprays_total", recycled)
+		f.Register("reps.fresh_sprays_total", fresh)
+		f.Register("reps.evictions_total", evictions)
+		f.Register("reps.cached_entropies", cached)
+	}
 	if flight != nil {
-		flight.Register("reps.recycled_sprays_total", recycled)
-		flight.Register("reps.fresh_sprays_total", fresh)
-		flight.Register("reps.evictions_total", evictions)
-		flight.Register("reps.cached_entropies", cached)
+		w.attachFlight(flight)
 	}
 
 	w.fillTelemetry = func(res *Result, eng *sim.Engine) {
@@ -182,6 +200,13 @@ func buildReps(nw *net.Network, rd *telemetry.RunData,
 			res.FreshSprays += r.FreshSprays
 			res.EntropyEvictions += r.Evictions
 		}
+	}
+	w.dumpState = func() any {
+		out := make([]*lb.RepsDump, len(instances))
+		for i, r := range instances {
+			out[i] = r.Dump()
+		}
+		return out
 	}
 	return w
 }
@@ -255,8 +280,11 @@ func buildHermes(nw *net.Network, rng *sim.RNG, cfg Config, rd *telemetry.RunDat
 	if reg != nil {
 		attachHermesGauges(reg, monitors, instances, &probers)
 	}
+	w.attachFlight = func(f *timeseries.Recorder) {
+		attachHermesFlight(f, monitors, instances)
+	}
 	if flight != nil {
-		attachHermesFlight(flight, monitors, instances)
+		w.attachFlight(flight)
 	}
 	w.afterTransport = func(nw *net.Network, rng *sim.RNG) {
 		if params.ProbeInterval <= 0 {
@@ -290,7 +318,54 @@ func buildHermes(nw *net.Network, rng *sim.RNG, cfg Config, rd *telemetry.RunDat
 			res.ProbeOverhead = bps / float64(nw.Cfg.HostRateBps)
 		}
 	}
+	w.dumpState = func() any {
+		d := &hermesSchemeDump{}
+		for _, m := range monitors {
+			d.Monitors = append(d.Monitors, m.Dump())
+		}
+		for _, p := range probers {
+			d.Probers = append(d.Probers, p.Dump())
+		}
+		hosts := make([]int, 0, len(instances))
+		for h := range instances {
+			hosts = append(hosts, h)
+		}
+		sort.Ints(hosts)
+		for _, h := range hosts {
+			inst := instances[h]
+			d.Hosts = append(d.Hosts, hermesHostDump{
+				Host: h, Reroutes: inst.Reroutes,
+				TimeoutReroutes: inst.TimeoutReroutes,
+				FailureReroutes: inst.FailureReroutes,
+			})
+		}
+		return d
+	}
+	w.stop = func() {
+		for _, p := range probers {
+			p.Stop()
+		}
+		for _, m := range monitors {
+			m.Stop()
+		}
+	}
 	return w, nil
+}
+
+// hermesSchemeDump is the Hermes control plane's checkpoint section: every
+// rack monitor's sensing table, every prober's overhead state, and the
+// per-host reroute counters in host order.
+type hermesSchemeDump struct {
+	Monitors []*core.MonitorDump `json:"monitors"`
+	Probers  []*core.ProberDump  `json:"probers"`
+	Hosts    []hermesHostDump    `json:"hosts"`
+}
+
+type hermesHostDump struct {
+	Host            int    `json:"host"`
+	Reroutes        uint64 `json:"reroutes"`
+	TimeoutReroutes uint64 `json:"timeout_reroutes"`
+	FailureReroutes uint64 `json:"failure_reroutes"`
 }
 
 // attachHermesFlight wires the Hermes control plane into the flight

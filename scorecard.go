@@ -17,9 +17,13 @@ func (m *ChaosMatrix) RenderText(w io.Writer, width int) error {
 		}
 		return fmt.Sprintf("%.2f", v)
 	}
+	partial := ""
+	if m.Partial {
+		partial = " [PARTIAL: sweep interrupted; cells cover completed runs only]"
+	}
 	if _, err := fmt.Fprintf(w,
-		"chaos resilience matrix — recovery scorecard\nschemes=%v scenarios=%v seeds=%v\n\n",
-		m.Schemes, m.Scenarios, m.Seeds); err != nil {
+		"chaos resilience matrix — recovery scorecard%s\nschemes=%v scenarios=%v seeds=%v\n\n",
+		partial, m.Schemes, m.Scenarios, m.Seeds); err != nil {
 		return err
 	}
 
